@@ -1,0 +1,39 @@
+//! Developer diagnostic: raw simulator counters for one benchmark.
+//! Not part of the figure index; kept for calibration work.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin debug_counters -- BLK
+//! ```
+
+use gcs_bench::scale_from_env;
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BLK".into());
+    let bench = Benchmark::from_name(&name).expect("unknown benchmark");
+    let cfg = GpuConfig::gtx480();
+    let mut gpu = Gpu::new(cfg.clone()).expect("config");
+    let app = gpu.launch(bench.kernel(scale_from_env())).expect("launch");
+    gpu.partition_even();
+    gpu.run(500_000_000).expect("run");
+    let s = gpu.stats().app(app);
+    let cycles = s.runtime_cycles();
+    let gb = |b: u64| cfg.bytes_per_cycle_to_gbps(b as f64 / cycles as f64);
+    println!("bench          : {}", bench.name());
+    println!("cycles         : {cycles}");
+    println!("warp insts     : {}", s.warp_insts);
+    println!("thread insts   : {}  (IPC {:.1})", s.thread_insts, s.thread_ipc());
+    println!("mem insts      : {}  (R {:.3})", s.mem_insts, s.memory_ratio());
+    println!("l1 hits/misses : {} / {}  (hit rate {:.2})", s.l1_hits, s.l1_misses, s.l1_hit_rate());
+    println!("dram read      : {} B  ({:.1} GB/s)", s.dram_read_bytes, gb(s.dram_read_bytes));
+    println!("dram write     : {} B  ({:.1} GB/s)", s.dram_write_bytes, gb(s.dram_write_bytes));
+    println!("l2->l1         : {} B  ({:.1} GB/s)", s.l2_to_l1_bytes, gb(s.l2_to_l1_bytes));
+    println!("dram row hit   : {}  miss {}  (hit rate {:.2})",
+        s.dram_row_hits,
+        s.dram_row_misses,
+        s.dram_row_hits as f64 / (s.dram_row_hits + s.dram_row_misses).max(1) as f64
+    );
+    println!("l2 hit rate    : {:.2}", gpu.l2_hit_rate());
+}

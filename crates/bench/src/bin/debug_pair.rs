@@ -1,0 +1,50 @@
+//! Developer diagnostic: co-run two benchmarks on an even split and
+//! compare against their alone-on-full-device runtimes.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin debug_pair -- BLK BLK
+//! ```
+
+use gcs_bench::scale_from_env;
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let a = Benchmark::from_name(&args.next().unwrap_or_else(|| "BLK".into())).expect("bench a");
+    let b = Benchmark::from_name(&args.next().unwrap_or_else(|| "BLK".into())).expect("bench b");
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+
+    let alone = |bench: Benchmark| -> (u64, f64) {
+        let mut gpu = Gpu::new(cfg.clone()).expect("gpu");
+        let id = gpu.launch(bench.kernel(scale)).expect("launch");
+        gpu.partition_even();
+        gpu.run(500_000_000).expect("run");
+        let s = gpu.stats().app(id);
+        let cycles = s.runtime_cycles();
+        (cycles, cfg.bytes_per_cycle_to_gbps(s.dram_bytes() as f64 / cycles as f64))
+    };
+    let (ca, bwa) = alone(a);
+    let (cb, bwb) = alone(b);
+    println!("{a} alone: {ca} cycles, {bwa:.1} GB/s");
+    println!("{b} alone: {cb} cycles, {bwb:.1} GB/s");
+
+    let mut gpu = Gpu::new(cfg.clone()).expect("gpu");
+    let ia = gpu.launch(a.kernel(scale)).expect("launch");
+    let ib = gpu.launch(b.kernel(scale)).expect("launch");
+    gpu.partition_even();
+    gpu.run(500_000_000).expect("run");
+    let sa = gpu.stats().app(ia);
+    let sb = gpu.stats().app(ib);
+    let (cca, ccb) = (sa.runtime_cycles(), sb.runtime_cycles());
+    let makespan = gpu.cycle();
+    println!(
+        "co-run: {a} {cca} cycles ({:.1} GB/s, slowdown {:.2}), {b} {ccb} cycles ({:.1} GB/s, slowdown {:.2}), makespan {makespan}",
+        cfg.bytes_per_cycle_to_gbps(sa.dram_bytes() as f64 / cca as f64),
+        cca as f64 / ca as f64,
+        cfg.bytes_per_cycle_to_gbps(sb.dram_bytes() as f64 / ccb as f64),
+        ccb as f64 / cb as f64,
+    );
+}

@@ -1,0 +1,44 @@
+//! Developer diagnostic: group-by-group breakdown of one queue under
+//! FCFS / ILP grouping and Even / SMRA allocation.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin debug_queue -- mheavy
+//! ```
+
+use gcs_bench::{build_pipeline, scale_from_env};
+use gcs_core::queues::{queue_with_distribution, Distribution};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mheavy".into());
+    let dist = match which.as_str() {
+        "equal" => Distribution::Equal,
+        "mheavy" => Distribution::MHeavy,
+        "mcheavy" => Distribution::McHeavy,
+        "cheavy" => Distribution::CHeavy,
+        _ => Distribution::AHeavy,
+    };
+    let mut pipeline = build_pipeline(2);
+    let queue = queue_with_distribution(dist, 20);
+    println!("queue ({:?} at {:?}): {:?}", dist, scale_from_env(), queue);
+
+    for (grouping, alloc) in [
+        (GroupingPolicy::Fcfs, AllocationPolicy::Even),
+        (GroupingPolicy::Ilp, AllocationPolicy::Even),
+        (GroupingPolicy::Ilp, AllocationPolicy::Smra),
+    ] {
+        let r = pipeline.run_queue(&queue, grouping, alloc).expect("run");
+        println!(
+            "\n{grouping:?}/{alloc:?}: total {} cycles, throughput {:.1}",
+            r.total_cycles, r.device_throughput
+        );
+        for g in &r.groups {
+            let names: Vec<String> = g
+                .apps
+                .iter()
+                .map(|a| format!("{}({})", a.bench.name(), pipeline.class_of(a.bench)))
+                .collect();
+            println!("  {:<28} makespan {:>9}", names.join("+"), g.makespan);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Fig 1.2**: maximum device utilization of each
+//! benchmark running alone on the full device (IPC over peak thread
+//! IPC).
+//!
+//! The shape to reproduce: wide spread, with several benchmarks well
+//! under 50 % — the headroom that motivates multi-application execution.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig12_utilization
+//! ```
+
+use gcs_bench::{header, scale_from_env};
+use gcs_core::profile::profile_alone;
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+
+    header("Fig 1.2 — max utilization of Rodinia benchmarks");
+    println!("{:>6} {:>8} {:>10}", "bench", "util", "bar");
+    let mut below_half = 0;
+    for b in Benchmark::ALL {
+        let p = profile_alone(&b.kernel(scale), &cfg).expect("profiling");
+        let pctg = p.utilization * 100.0;
+        if pctg < 50.0 {
+            below_half += 1;
+        }
+        println!(
+            "{:>6} {:>7.1}% {}",
+            b.name(),
+            pctg,
+            "#".repeat((pctg / 2.0).round() as usize)
+        );
+    }
+    println!("\nbenchmarks under 50% utilization: {below_half}/14");
+    println!("(the thesis' motivation: most apps leave the device underused)");
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Fig 3.4**: average per-class slowdown under pairwise
+//! co-execution (even SM split) relative to running alone on the whole
+//! device.
+//!
+//! Expected shape (§3.2.2): class M slows every class down the most —
+//! the FR-FCFS memory scheduler keeps prioritizing the streaming apps'
+//! row hits — and class-MC applications suffer more from class M than
+//! class M itself does. A-A pairs interfere least.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig34_interference
+//! ```
+
+use gcs_bench::{header, scale_from_env};
+use gcs_core::classify::AppClass;
+use gcs_core::interference::InterferenceMatrix;
+use gcs_sim::config::GpuConfig;
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+
+    header("Fig 3.4 — average application slowdown due to co-execution");
+    let m = InterferenceMatrix::measure_full(&cfg, scale).expect("interference measurement");
+    print!("{m}");
+
+    let col_avg = |a: AppClass| -> f64 {
+        AppClass::ALL.iter().map(|&v| m.slowdown(v, a)).sum::<f64>() / 4.0
+    };
+    println!("\naverage slowdown imposed by each aggressor class:");
+    for a in AppClass::ALL {
+        println!("  {:>2}: {:.2}x", a.label(), col_avg(a));
+    }
+    println!("\npaper shape checks:");
+    println!(
+        "  M imposes the largest average slowdown: {}",
+        if AppClass::ALL.iter().all(|&c| col_avg(AppClass::M) >= col_avg(c)) {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    // §3.2.2: "when class M applications are executed along with class
+    // MC applications ... class MC applications suffer more than class
+    // M applications" — i.e. within the M+MC pair.
+    println!(
+        "  in an M+MC pair, MC suffers more:       {}",
+        if m.slowdown(AppClass::Mc, AppClass::M) > m.slowdown(AppClass::M, AppClass::Mc) {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "  A-A is the gentlest pairing:            {}",
+        if AppClass::ALL
+            .iter()
+            .all(|&c| m.slowdown(AppClass::A, AppClass::A) <= m.slowdown(AppClass::A, c))
+        {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Fig 3.5**: normalized IPC scalability of the
+//! distinctive benchmarks as the SM count grows (10 → 30 SMs in the
+//! thesis' chart; we also print 60).
+//!
+//! Expected shapes: LUD flat (12-block grid), HS near-ideal, LPS
+//! saturating, FFT saturating then degrading (its per-block tiles spill
+//! the shared L2 as more blocks become resident), GUPS flat-to-falling
+//! (bandwidth-saturated at every core count; the thesis shows a mild
+//! decline), BFS2 rising but far below ideal.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig35_scalability
+//! ```
+
+use gcs_bench::{header, scale_from_env};
+use gcs_core::profile::scalability_curve;
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+    let counts = [10u32, 15, 20, 25, 30, 60];
+    let benches = [
+        Benchmark::Bfs2,
+        Benchmark::Lud,
+        Benchmark::Fft,
+        Benchmark::Lps,
+        Benchmark::Gups,
+        Benchmark::Hs,
+    ];
+
+    header("Fig 3.5 — scalability trends (IPC normalized to the 10-SM point)");
+    print!("{:>6}", "bench");
+    for c in counts {
+        print!(" {:>7}", format!("{c} SM"));
+    }
+    println!();
+    for b in benches {
+        let curve =
+            scalability_curve(&b.kernel(scale), &cfg, &counts).expect("scalability profiling");
+        let base = curve[0].1.max(1e-9);
+        print!("{:>6}", b.name());
+        for (_, ipc) in &curve {
+            print!(" {:>7.2}", ipc / base);
+        }
+        println!();
+    }
+    print!("{:>6}", "ideal");
+    for c in counts {
+        print!(" {:>7.2}", f64::from(c) / 10.0);
+    }
+    println!();
+}

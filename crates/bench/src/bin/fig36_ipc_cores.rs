@@ -1,0 +1,34 @@
+//! Regenerates **Fig 3.6**: absolute IPC of every benchmark at
+//! 10 / 15 / 20 / 30 cores (normalized to each benchmark's 10-core
+//! point in the print-out, matching the figure's bar groups).
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig36_ipc_cores
+//! ```
+
+use gcs_bench::{header, scale_from_env};
+use gcs_core::profile::scalability_curve;
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+    let counts = [10u32, 15, 20, 30];
+
+    header("Fig 3.6 — IPC of benchmarks with different numbers of cores");
+    print!("{:>6}", "bench");
+    for c in counts {
+        print!(" {:>9}", format!("{c} cores"));
+    }
+    println!("  (thread IPC)");
+    for b in Benchmark::ALL {
+        let curve =
+            scalability_curve(&b.kernel(scale), &cfg, &counts).expect("scalability profiling");
+        print!("{:>6}", b.name());
+        for (_, ipc) in &curve {
+            print!(" {:>9.1}", ipc);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Fig 4.10**: cycles taken by each three-application
+//! group, normalized to the group's serial execution time, for (a) ILP
+//! and (b) FCFS grouping.
+//!
+//! Paper: 3 of 4 ILP groups finish under 40 % of serial; only 1 of 4
+//! FCFS groups does.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig410_group_cycles
+//! ```
+
+use std::collections::BTreeMap;
+
+use gcs_bench::{build_pipeline, header, queue_12};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let mut pipeline = build_pipeline(3);
+    let queue = queue_12();
+
+    let serial = pipeline
+        .run_queue(&queue, GroupingPolicy::Serial, AllocationPolicy::Even)
+        .expect("serial");
+    let mut alone: BTreeMap<Benchmark, u64> = BTreeMap::new();
+    for g in &serial.groups {
+        alone.insert(g.apps[0].bench, g.makespan);
+    }
+
+    for policy in [GroupingPolicy::Ilp, GroupingPolicy::Fcfs] {
+        header(&format!(
+            "Fig 4.10 — group cycles vs serial ({policy:?} grouping, NC = 3)"
+        ));
+        let report = pipeline
+            .run_queue(&queue, policy, AllocationPolicy::Even)
+            .expect("run");
+        let mut under = 0;
+        let mut groups = 0;
+        for g in &report.groups {
+            let serial_sum: u64 = g.apps.iter().map(|a| alone[&a.bench]).sum();
+            let ratio = g.makespan as f64 / serial_sum as f64;
+            let names: Vec<&str> = g.apps.iter().map(|a| a.bench.name()).collect();
+            println!("{:>16}: {:.2} of serial", names.join("-"), ratio);
+            if g.apps.len() == 3 {
+                groups += 1;
+                if ratio < 0.4 {
+                    under += 1;
+                }
+            }
+        }
+        println!("groups under 40% of serial: {under}/{groups}");
+    }
+    println!("\npaper: ILP 3/4 groups under 40%, FCFS 1/4");
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Fig 4.12**: per-benchmark average device throughput
+//! under three-application execution (equal-distribution queue), four
+//! methods, normalized per benchmark to Even.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig412_three_perapp
+//! ```
+
+use std::collections::BTreeMap;
+
+use gcs_bench::{build_pipeline, header};
+use gcs_core::queues::{queue_with_distribution, Distribution};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy, QueueReport};
+use gcs_workloads::Benchmark;
+
+fn per_bench(report: &QueueReport) -> BTreeMap<Benchmark, f64> {
+    report.per_bench_ipc().into_iter().collect()
+}
+
+fn main() {
+    let mut pipeline = build_pipeline(3);
+    let queue = queue_with_distribution(Distribution::Equal, 21);
+
+    let even = pipeline
+        .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+        .expect("even");
+    let profile = pipeline
+        .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::ProfileBased)
+        .expect("profile");
+    let ilp = pipeline
+        .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Even)
+        .expect("ilp");
+    let smra = pipeline
+        .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Smra)
+        .expect("smra");
+
+    header("Fig 4.12 — per-benchmark throughput, NC = 3 (normalized to Even)");
+    let (e, p, i, s) = (
+        per_bench(&even),
+        per_bench(&profile),
+        per_bench(&ilp),
+        per_bench(&smra),
+    );
+    println!(
+        "{:>6} {:>8} {:>14} {:>8} {:>10}",
+        "bench", "Even", "Profile-based", "ILP", "ILP-SMRA"
+    );
+    for (b, base) in &e {
+        let rel = |m: &BTreeMap<Benchmark, f64>| m.get(b).copied().unwrap_or(0.0) / base.max(1e-9);
+        println!(
+            "{:>6} {:>8.2} {:>14.2} {:>8.2} {:>10.2}",
+            b.name(),
+            1.0,
+            rel(&p),
+            rel(&i),
+            rel(&s),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Fig 4.1**: device throughput of the 14-application
+//! queue under serial execution, FCFS pairing and ILP pairing (even SM
+//! split inside pairs), normalized to serial.
+//!
+//! Paper: ILP ≈ 21 % better than FCFS and ≈ 80 % better than serial.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig41_two_app
+//! ```
+
+use gcs_bench::{build_pipeline, header, pct};
+use gcs_core::queues::thesis_queue_14;
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+
+fn main() {
+    let mut pipeline = build_pipeline(2);
+    let queue = thesis_queue_14();
+
+    header("Fig 4.1 — two-application execution, 14-app queue");
+    let serial = pipeline
+        .run_queue(&queue, GroupingPolicy::Serial, AllocationPolicy::Even)
+        .expect("serial run");
+    let fcfs = pipeline
+        .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+        .expect("fcfs run");
+    let ilp = pipeline
+        .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Even)
+        .expect("ilp run");
+
+    let base = serial.device_throughput;
+    println!("{:>8} {:>14} {:>12}", "method", "throughput", "vs serial");
+    for (name, r) in [("Serial", &serial), ("FCFS", &fcfs), ("ILP", &ilp)] {
+        println!(
+            "{:>8} {:>14.1} {:>12}",
+            name,
+            r.device_throughput,
+            pct(r.device_throughput / base)
+        );
+    }
+    println!(
+        "\nILP vs FCFS: {}   (paper: +21%)",
+        pct(ilp.device_throughput / fcfs.device_throughput)
+    );
+    println!(
+        "ILP vs serial: {} (paper: >+80%)",
+        pct(ilp.device_throughput / base)
+    );
+}

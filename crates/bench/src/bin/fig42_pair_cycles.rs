@@ -1,0 +1,54 @@
+//! Regenerates **Fig 4.2**: cycles taken by each application pair,
+//! normalized to the pair's serial execution time, for (a) ILP pairing
+//! and (b) FCFS pairing.
+//!
+//! Paper: 5 of 7 ILP pairs finish in under 50 % of their serial time;
+//! only 2 of 7 FCFS pairs do.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig42_pair_cycles
+//! ```
+
+use std::collections::BTreeMap;
+
+use gcs_bench::{build_pipeline, header};
+use gcs_core::queues::thesis_queue_14;
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let mut pipeline = build_pipeline(2);
+    let queue = thesis_queue_14();
+
+    // Serial time per benchmark (alone on the full device).
+    let serial = pipeline
+        .run_queue(&queue, GroupingPolicy::Serial, AllocationPolicy::Even)
+        .expect("serial run");
+    let mut alone: BTreeMap<Benchmark, u64> = BTreeMap::new();
+    for g in &serial.groups {
+        alone.insert(g.apps[0].bench, g.makespan);
+    }
+
+    for policy in [GroupingPolicy::Ilp, GroupingPolicy::Fcfs] {
+        header(&format!("Fig 4.2 — pair cycles vs serial ({policy:?} pairing)"));
+        let report = pipeline
+            .run_queue(&queue, policy, AllocationPolicy::Even)
+            .expect("queue run");
+        let mut under_half = 0;
+        let mut pairs = 0;
+        for g in &report.groups {
+            let serial_sum: u64 = g.apps.iter().map(|a| alone[&a.bench]).sum();
+            let ratio = g.makespan as f64 / serial_sum as f64;
+            let names: Vec<&str> = g.apps.iter().map(|a| a.bench.name()).collect();
+            println!("{:>12}: {:.2} of serial", names.join("-"), ratio);
+            if g.apps.len() == 2 {
+                pairs += 1;
+                if ratio < 0.5 {
+                    under_half += 1;
+                }
+            }
+        }
+        println!("pairs under 50% of serial: {under_half}/{pairs}");
+    }
+    println!("\npaper: ILP 5/7 pairs under 50%, FCFS 2/7");
+}

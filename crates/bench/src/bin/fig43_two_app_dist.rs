@@ -1,0 +1,74 @@
+//! Regenerates **Fig 4.3**: device throughput of two-application
+//! execution across the five 20-app queue distributions, for the four
+//! compared methods (Even, Profile-based \[17\], ILP, ILP-SMRA),
+//! normalized to Even per distribution.
+//!
+//! FCFS-style baselines are sensitive to arrival order, so every cell
+//! averages three arrival-order seeds.
+//!
+//! Paper: ILP +19 % on average (best +40 % on the C-oriented queue);
+//! ILP-SMRA +36 % on average (best +48 % on the A-oriented queue).
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig43_two_app_dist
+//! ```
+
+use gcs_bench::{build_pipeline, header, pct};
+use gcs_core::queues::{queue_with_distribution_seeded, Distribution};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+
+const SEEDS: [u64; 3] = [0, 1, 2];
+
+fn main() {
+    let mut pipeline = build_pipeline(2);
+
+    header("Fig 4.3 — two-application execution across queue distributions");
+    println!(
+        "{:>12} {:>8} {:>14} {:>10} {:>10}",
+        "queue", "Even", "Profile-based", "ILP", "ILP-SMRA"
+    );
+    let mut gain_ilp = Vec::new();
+    let mut gain_smra = Vec::new();
+    for dist in Distribution::ALL {
+        let (mut p_acc, mut i_acc, mut s_acc) = (0.0, 0.0, 0.0);
+        for seed in SEEDS {
+            let queue = queue_with_distribution_seeded(dist, 20, seed);
+            let even = pipeline
+                .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+                .expect("even");
+            let profile = pipeline
+                .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::ProfileBased)
+                .expect("profile-based");
+            let ilp = pipeline
+                .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Even)
+                .expect("ilp");
+            let smra = pipeline
+                .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Smra)
+                .expect("ilp-smra");
+            let base = even.device_throughput;
+            p_acc += profile.device_throughput / base;
+            i_acc += ilp.device_throughput / base;
+            s_acc += smra.device_throughput / base;
+        }
+        let n = SEEDS.len() as f64;
+        println!(
+            "{:>12} {:>8.2} {:>14.2} {:>10.2} {:>10.2}",
+            dist.label(),
+            1.0,
+            p_acc / n,
+            i_acc / n,
+            s_acc / n,
+        );
+        gain_ilp.push(i_acc / n);
+        gain_smra.push(s_acc / n);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nILP average gain over Even:      {} (paper: +19%)",
+        pct(avg(&gain_ilp))
+    );
+    println!(
+        "ILP-SMRA average gain over Even: {} (paper: +36%)",
+        pct(avg(&gain_smra))
+    );
+}

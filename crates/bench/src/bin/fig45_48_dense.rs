@@ -1,0 +1,80 @@
+//! Regenerates **Figs 4.5–4.8**: per-benchmark throughput for the four
+//! skewed queue distributions (A-, M-, MC-, C-oriented), two concurrent
+//! applications, four methods, normalized per benchmark to Even.
+//!
+//! Paper highlights: M-oriented queues gain most from ILP matching
+//! (+32.5 % vs Even), C-oriented queues gain most from SMRA (+29 %),
+//! MC-oriented queues are roughly policy-neutral.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig45_48_dense
+//! ```
+
+use std::collections::BTreeMap;
+
+use gcs_bench::{build_pipeline, header, pct};
+use gcs_core::queues::{queue_with_distribution, Distribution};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy, QueueReport};
+use gcs_workloads::Benchmark;
+
+fn per_bench(report: &QueueReport) -> BTreeMap<Benchmark, f64> {
+    report.per_bench_ipc().into_iter().collect()
+}
+
+fn main() {
+    let mut pipeline = build_pipeline(2);
+
+    for (fig, dist) in [
+        ("Fig 4.5", Distribution::AHeavy),
+        ("Fig 4.6", Distribution::MHeavy),
+        ("Fig 4.7", Distribution::McHeavy),
+        ("Fig 4.8", Distribution::CHeavy),
+    ] {
+        let queue = queue_with_distribution(dist, 20);
+        let even = pipeline
+            .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+            .expect("even");
+        let profile = pipeline
+            .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::ProfileBased)
+            .expect("profile");
+        let ilp = pipeline
+            .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Even)
+            .expect("ilp");
+        let smra = pipeline
+            .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Smra)
+            .expect("smra");
+
+        header(&format!(
+            "{fig} — per-benchmark throughput, {} queue (normalized to Even)",
+            dist.label()
+        ));
+        let (e, p, i, s) = (
+            per_bench(&even),
+            per_bench(&profile),
+            per_bench(&ilp),
+            per_bench(&smra),
+        );
+        println!(
+            "{:>6} {:>8} {:>14} {:>8} {:>10}",
+            "bench", "Even", "Profile-based", "ILP", "ILP-SMRA"
+        );
+        for (b, base) in &e {
+            let rel =
+                |m: &BTreeMap<Benchmark, f64>| m.get(b).copied().unwrap_or(0.0) / base.max(1e-9);
+            println!(
+                "{:>6} {:>8.2} {:>14.2} {:>8.2} {:>10.2}",
+                b.name(),
+                1.0,
+                rel(&p),
+                rel(&i),
+                rel(&s),
+            );
+        }
+        println!(
+            "device: Profile {}  ILP {}  ILP-SMRA {}",
+            pct(profile.device_throughput / even.device_throughput),
+            pct(ilp.device_throughput / even.device_throughput),
+            pct(smra.device_throughput / even.device_throughput),
+        );
+    }
+}

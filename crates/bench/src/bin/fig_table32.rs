@@ -1,0 +1,63 @@
+//! Regenerates **Table 3.2**: per-benchmark profile (memory bandwidth,
+//! L2→L1 bandwidth, IPC, R) and class, next to the thesis' reference
+//! values.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin fig_table32
+//! ```
+
+use gcs_bench::{header, scale_from_env};
+use gcs_core::classify::{classify_suite, AppClass};
+use gcs_core::profile::profile_alone;
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::{Benchmark, PAPER_PROFILES};
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let scale = scale_from_env();
+
+    header("Table 3.2 — classification of Rodinia benchmarks (measured vs paper)");
+    let mut profiles = Vec::new();
+    for b in Benchmark::ALL {
+        let p = profile_alone(&b.kernel(scale), &cfg).unwrap_or_else(|e| {
+            panic!("profiling {b} failed: {e}");
+        });
+        profiles.push(p);
+    }
+    let (thresholds, classes) = classify_suite(&cfg, &profiles);
+
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} {:>6} {:>5} | {:>8} {:>8} {:>8} {:>6} {:>5} | match",
+        "bench", "MB", "L2->L1", "IPC", "R", "class", "MB*", "L2->L1*", "IPC*", "R*", "cls*"
+    );
+    let mut class_matches = 0;
+    for ((b, p), c) in Benchmark::ALL.iter().zip(&profiles).zip(&classes) {
+        let paper = PAPER_PROFILES
+            .iter()
+            .find(|r| r.bench == *b)
+            .expect("paper row");
+        let want = AppClass::from_label(&paper.class.to_string()).expect("class letter");
+        let ok = *c == want;
+        class_matches += u32::from(ok);
+        println!(
+            "{:>6} | {:>8.1} {:>8.1} {:>8.1} {:>6.2} {:>5} | {:>8.1} {:>8.1} {:>8.1} {:>6.2} {:>5} | {}",
+            b.name(),
+            p.memory_bw,
+            p.l2_l1_bw,
+            p.ipc,
+            p.r,
+            c.label(),
+            paper.memory_bw,
+            paper.l2_l1_bw,
+            paper.ipc,
+            paper.r,
+            want.label(),
+            if ok { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nthresholds: alpha = {:.1} GB/s, beta = {:.1} GB/s, gamma = {:.1} GB/s, epsilon = {:.1} IPC",
+        thresholds.alpha, thresholds.beta, thresholds.gamma, thresholds.epsilon
+    );
+    println!("classes matching the paper: {class_matches}/14");
+}

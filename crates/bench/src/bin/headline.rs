@@ -1,0 +1,34 @@
+//! The thesis' **headline numbers**: ILP-SMRA improves device
+//! throughput by ~36 % on average for two concurrent applications and
+//! ~23 % for three, compared to the Even baseline across the five queue
+//! distributions (abstract and §5).
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin headline
+//! ```
+
+use gcs_bench::{build_pipeline, header, pct};
+use gcs_core::queues::{queue_with_distribution, Distribution};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
+
+fn main() {
+    for (nc, len, paper) in [(2u32, 20u32, "+36%"), (3, 21, "+23%")] {
+        let mut pipeline = build_pipeline(nc);
+        header(&format!("headline — {nc} concurrent applications"));
+        let mut gains = Vec::new();
+        for dist in Distribution::ALL {
+            let queue = queue_with_distribution(dist, len);
+            let even = pipeline
+                .run_queue(&queue, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+                .expect("even");
+            let smra = pipeline
+                .run_queue(&queue, GroupingPolicy::Ilp, AllocationPolicy::Smra)
+                .expect("smra");
+            let g = smra.device_throughput / even.device_throughput;
+            println!("  {:>12}: ILP-SMRA vs Even {}", dist.label(), pct(g));
+            gains.push(g);
+        }
+        let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+        println!("  average: {} (paper: {paper})", pct(avg));
+    }
+}

@@ -1,0 +1,145 @@
+//! # gcs-bench — figure/table regeneration harness
+//!
+//! One binary per table/figure of the thesis (see `DESIGN.md` §4 for the
+//! index). Every binary prints the rows/series the corresponding figure
+//! plots, alongside the paper's reference values where the thesis
+//! reports them.
+//!
+//! Shared plumbing lives here: workload-scale selection via the
+//! `GCS_SCALE` environment variable (`full`, `small`, `test`) and tiny
+//! table-printing helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gcs_core::runner::{Pipeline, RunConfig};
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::{Benchmark, Scale};
+
+/// Resolves the workload scale from `GCS_SCALE` (default: `small`).
+///
+/// `full` runs the exact experiment sizes, `small` quarters the work,
+/// `test` is only meant for smoke-testing the binaries.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("GCS_SCALE").as_deref() {
+        Ok("full") => Scale::FULL,
+        Ok("test") => Scale::TEST,
+        _ => Scale::SMALL,
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio as a percent delta against a baseline of 1.0
+/// (`1.36` → `"+36.0%"`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Builds the full measurement pipeline (suite profiling + interference
+/// matrix) for `concurrency` co-running applications on the GTX 480
+/// model at the environment-selected scale.
+///
+/// This is the expensive, shared prologue of every chapter-4 figure;
+/// each binary builds it once and reuses it across policies. The
+/// 105-co-run interference matrix is cached on disk
+/// (`results/.matrix-cache-*`) keyed by the workload scale, so repeated
+/// harness invocations skip the sweep; delete the cache after changing
+/// the simulator or the workload models.
+///
+/// # Panics
+///
+/// Panics if profiling or interference measurement fails — the harness
+/// has no useful way to continue.
+pub fn build_pipeline(concurrency: u32) -> Pipeline {
+    let cfg = RunConfig {
+        gpu: GpuConfig::gtx480(),
+        scale: scale_from_env(),
+        concurrency,
+    };
+    let cache = matrix_cache_path(&cfg.scale);
+    if let Some(matrix) = load_matrix(&cache) {
+        println!("[setup] interference matrix loaded from {cache:?}; profiling suite ...");
+        return Pipeline::with_matrix(cfg, matrix).expect("pipeline construction");
+    }
+    println!(
+        "[setup] profiling suite + measuring interference (scale {:?}) ...",
+        cfg.scale
+    );
+    let pipeline = Pipeline::new(cfg).expect("pipeline construction");
+    store_matrix(&cache, pipeline.matrix());
+    pipeline
+}
+
+fn matrix_cache_path(scale: &Scale) -> std::path::PathBuf {
+    std::path::PathBuf::from(format!(
+        "results/.matrix-cache-i{}-g{}.txt",
+        scale.iters, scale.grid
+    ))
+}
+
+/// Parses a cached matrix: 16 whitespace-separated floats, row-major.
+fn load_matrix(path: &std::path::Path) -> Option<gcs_core::InterferenceMatrix> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let vals: Vec<f64> = text
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if vals.len() != 16 || vals.iter().any(|v| !v.is_finite() || *v < 1.0) {
+        return None;
+    }
+    let mut s = [[1.0f64; 4]; 4];
+    for (i, v) in vals.iter().enumerate() {
+        s[i / 4][i % 4] = *v;
+    }
+    Some(gcs_core::InterferenceMatrix::from_entries(s))
+}
+
+fn store_matrix(path: &std::path::Path, m: &gcs_core::InterferenceMatrix) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = String::new();
+    for row in m.entries() {
+        for v in row {
+            text.push_str(&format!("{v:.6} "));
+        }
+        text.push('\n');
+    }
+    if std::fs::write(path, text).is_err() {
+        eprintln!("warning: could not cache interference matrix at {path:?}");
+    }
+}
+
+/// The 12-application queue of §4.2 (three-application execution):
+/// the suite minus RAY and NN, matching the groups shown in Fig 4.10.
+pub fn queue_12() -> Vec<Benchmark> {
+    gcs_core::queues::thesis_queue_14()
+        .into_iter()
+        .filter(|b| !matches!(b, Benchmark::Ray | Benchmark::Nn))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_deltas() {
+        assert_eq!(pct(1.36), "+36.0%");
+        assert_eq!(pct(0.9), "-10.0%");
+    }
+
+    #[test]
+    fn default_scale_is_small() {
+        // Do not mutate the environment (tests run in parallel); only
+        // check the default path when the variable is absent.
+        if std::env::var("GCS_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::SMALL);
+        }
+    }
+}

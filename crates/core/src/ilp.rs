@@ -1,0 +1,238 @@
+//! The contention-minimization ILP (§3.2.3, Eq. 3.3–3.7).
+//!
+//! Decision variable `L_i` counts how many co-run groups use class
+//! pattern `p_i`. The solver maximizes `f = Σ e_i L_i` (Eq. 3.3) subject
+//! to the class-balance constraints (Eq. 3.6, relaxed to `≤` exactly as
+//! the thesis' Appendix A does in Eq. 5.5) and the group-count equality
+//! `Σ L_i = L = N_q / NC` (Eq. 3.7).
+
+use crate::classify::AppClass;
+use crate::interference::InterferenceMatrix;
+use crate::pattern::{enumerate_patterns, Pattern};
+use crate::CoreError;
+use gcs_milp::{Problem, Relation};
+
+/// Result of the grouping ILP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingSolution {
+    /// `(pattern, multiplicity)` for every pattern with `L_i > 0`.
+    pub multiplicities: Vec<(Pattern, u32)>,
+    /// Optimal objective value `f`.
+    pub objective: f64,
+    /// The full `e` vector in pattern-enumeration order (diagnostics).
+    pub e: Vec<f64>,
+}
+
+impl GroupingSolution {
+    /// Expands the solution into a list of class multisets, one per
+    /// group, in enumeration order.
+    pub fn groups(&self) -> Vec<Vec<AppClass>> {
+        let mut out = Vec::new();
+        for (pattern, mult) in &self.multiplicities {
+            for _ in 0..*mult {
+                out.push(pattern.members());
+            }
+        }
+        out
+    }
+}
+
+/// Builds the Eq. 3.3–3.7 problem for the given per-class queue census.
+///
+/// Exposed separately from [`solve_grouping`] so tests and benches can
+/// inspect or re-solve the exact formulation.
+pub fn build_problem(class_counts: [u32; AppClass::COUNT], nc: u32, e: &[f64]) -> Problem {
+    let patterns = enumerate_patterns(nc);
+    assert_eq!(patterns.len(), e.len(), "one coefficient per pattern");
+    let nq: u32 = class_counts.iter().sum();
+    let l = nq / nc;
+
+    let mut p = Problem::maximize(e.to_vec());
+    // Eq. 3.6 (as ≤, following Appendix Eq. 5.5): class usage cannot
+    // exceed the queue census.
+    for class in AppClass::ALL {
+        let row: Vec<f64> = patterns
+            .iter()
+            .map(|pat| f64::from(pat.count(class)))
+            .collect();
+        p.add_constraint(row, Relation::Le, f64::from(class_counts[class.index()]));
+    }
+    // Eq. 3.7: exactly L groups.
+    p.add_constraint(vec![1.0; patterns.len()], Relation::Eq, f64::from(l));
+    p.set_all_integer(true);
+    p
+}
+
+/// Solves the grouping ILP for a queue with `class_counts` applications
+/// per class, `nc` concurrent applications per group, and measured
+/// interference `matrix`.
+///
+/// # Errors
+///
+/// * [`CoreError::BadQueue`] when the queue length is not divisible by
+///   `nc` (the thesis assumes divisibility; callers peel off a remainder
+///   group first).
+/// * [`CoreError::Milp`] if the ILP is infeasible (cannot happen for a
+///   consistent census) or hits the node limit.
+pub fn solve_grouping(
+    class_counts: [u32; AppClass::COUNT],
+    nc: u32,
+    matrix: &InterferenceMatrix,
+) -> Result<GroupingSolution, CoreError> {
+    let nq: u32 = class_counts.iter().sum();
+    if nq == 0 || nc < 2 {
+        return Err(CoreError::BadQueue(format!(
+            "need a non-empty queue and nc >= 2 (got nq = {nq}, nc = {nc})"
+        )));
+    }
+    if !nq.is_multiple_of(nc) {
+        return Err(CoreError::BadQueue(format!(
+            "queue length {nq} is not divisible by nc = {nc}"
+        )));
+    }
+    let patterns = enumerate_patterns(nc);
+    let e: Vec<f64> = patterns
+        .iter()
+        .map(|p| p.e_coefficient(matrix))
+        .collect();
+    solve_with_e(class_counts, nc, &e)
+}
+
+/// Solves the grouping ILP with an explicit `e` vector (used by the
+/// Appendix A reproduction, which quotes the thesis' coefficients).
+///
+/// # Errors
+///
+/// Same as [`solve_grouping`].
+pub fn solve_with_e(
+    class_counts: [u32; AppClass::COUNT],
+    nc: u32,
+    e: &[f64],
+) -> Result<GroupingSolution, CoreError> {
+    let patterns = enumerate_patterns(nc);
+    let problem = build_problem(class_counts, nc, e);
+    let sol = problem.solve()?;
+    let values = sol.rounded();
+    let multiplicities: Vec<(Pattern, u32)> = patterns
+        .into_iter()
+        .zip(&values)
+        .filter(|(_, &v)| v > 0)
+        .map(|(p, &v)| (p, v as u32))
+        .collect();
+    Ok(GroupingSolution {
+        multiplicities,
+        objective: sol.objective,
+        e: e.to_vec(),
+    })
+}
+
+/// The thesis' Appendix A coefficient vector for two-application
+/// patterns, in enumeration order
+/// (M-M, M-MC, M-C, M-A, MC-MC, MC-C, MC-A, C-C, C-A, A-A).
+pub const PAPER_APPENDIX_E: [f64; 10] = [
+    0.0072, 0.0110, 0.0146, 0.03584, 0.0204, 0.0202, 0.0698, 0.0178, 0.0412, 0.166,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_milp::enumerate::solve_by_enumeration;
+
+    /// The thesis' worked example: Nq = 14 with (2 M, 5 MC, 2 C, 5 A)
+    /// and the quoted e vector must yield L3 = 2 (M-C), L5 = 2 (MC-MC),
+    /// L7 = 1 (MC-A), L10 = 2 (A-A) — Eq. 5.7.
+    #[test]
+    fn appendix_a_worked_example() {
+        let sol = solve_with_e([2, 5, 2, 5], 2, &PAPER_APPENDIX_E).unwrap();
+        let mut counts = vec![0u32; 10];
+        let patterns = enumerate_patterns(2);
+        for (p, m) in &sol.multiplicities {
+            let idx = patterns.iter().position(|q| q == p).unwrap();
+            counts[idx] = *m;
+        }
+        assert_eq!(
+            counts,
+            vec![0, 0, 2, 0, 2, 0, 1, 0, 0, 2],
+            "Eq. 5.7 solution vector"
+        );
+        let expected = 2.0 * 0.0146 + 2.0 * 0.0204 + 0.0698 + 2.0 * 0.166;
+        assert!((sol.objective - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_enumeration() {
+        let p = build_problem([2, 5, 2, 5], 2, &PAPER_APPENDIX_E);
+        let bb = p.solve().unwrap();
+        let en = solve_by_enumeration(&p).unwrap();
+        assert!((bb.objective - en.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_way_grouping() {
+        let m = InterferenceMatrix::synthetic_paper_shape();
+        let sol = solve_grouping([3, 3, 3, 3], 3, &m).unwrap();
+        let groups = sol.groups();
+        assert_eq!(groups.len(), 4, "12 apps / 3 = 4 groups");
+        // Census adds back up.
+        let mut used = [0u32; 4];
+        for g in &groups {
+            assert_eq!(g.len(), 3);
+            for c in g {
+                used[c.index()] += 1;
+            }
+        }
+        assert_eq!(used, [3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn indivisible_queue_rejected() {
+        let m = InterferenceMatrix::uniform(2.0);
+        assert!(matches!(
+            solve_grouping([1, 1, 1, 0], 2, &m),
+            Err(CoreError::BadQueue(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let m = InterferenceMatrix::uniform(2.0);
+        assert!(matches!(
+            solve_grouping([0, 0, 0, 0], 2, &m),
+            Err(CoreError::BadQueue(_))
+        ));
+        assert!(matches!(
+            solve_grouping([2, 0, 0, 0], 1, &m),
+            Err(CoreError::BadQueue(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_interference_still_partitions() {
+        // With no class preference any grouping is optimal; the census
+        // must still be respected.
+        let m = InterferenceMatrix::uniform(3.0);
+        let sol = solve_grouping([2, 2, 2, 2], 2, &m).unwrap();
+        let total: u32 = sol.multiplicities.iter().map(|(_, m)| m).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn m_apps_paired_away_from_each_other() {
+        // With the paper-shaped matrix and enough A apps, no M-M pair
+        // should appear: M-M is the worst pattern.
+        let m = InterferenceMatrix::synthetic_paper_shape();
+        let sol = solve_grouping([2, 2, 2, 6], 2, &m).unwrap();
+        for (p, _) in &sol.multiplicities {
+            assert!(
+                p.count(AppClass::M) <= 1,
+                "ILP paired two class-M apps together: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_expand_multiplicities() {
+        let sol = solve_with_e([2, 5, 2, 5], 2, &PAPER_APPENDIX_E).unwrap();
+        assert_eq!(sol.groups().len(), 7);
+    }
+}

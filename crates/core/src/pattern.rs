@@ -1,0 +1,213 @@
+//! Class-pattern enumeration and e-coefficients (§3.2.3, Eq. 3.1–3.4).
+//!
+//! A *pattern* is a multiset of `NC` classes that could co-run: for
+//! `NT = 4` classes and `NC = 2` concurrent applications there are
+//! `C(NT + NC − 1, NC) = 10` patterns (Eq. 3.2). Each pattern `p_i`
+//! carries a quality coefficient `e_i` — the mean inverse slowdown of
+//! its members when co-running (Eq. 3.4) — which becomes the objective
+//! weight of the ILP.
+
+use crate::classify::AppClass;
+use crate::interference::InterferenceMatrix;
+
+/// A pattern: per-class multiplicities summing to `NC` (Eq. 3.1's
+/// column vector).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    counts: [u8; AppClass::COUNT],
+}
+
+impl Pattern {
+    /// Builds a pattern from per-class counts.
+    pub fn new(counts: [u8; AppClass::COUNT]) -> Self {
+        Pattern { counts }
+    }
+
+    /// Multiplicity of `class` in this pattern.
+    pub fn count(&self, class: AppClass) -> u8 {
+        self.counts[class.index()]
+    }
+
+    /// Per-class counts.
+    pub fn counts(&self) -> &[u8; AppClass::COUNT] {
+        &self.counts
+    }
+
+    /// Total applications in the pattern (the paper's `NC`).
+    pub fn size(&self) -> u32 {
+        self.counts.iter().map(|&c| u32::from(c)).sum()
+    }
+
+    /// The classes in the pattern, expanded with multiplicity.
+    pub fn members(&self) -> Vec<AppClass> {
+        let mut out = Vec::with_capacity(self.size() as usize);
+        for class in AppClass::ALL {
+            for _ in 0..self.count(class) {
+                out.push(class);
+            }
+        }
+        out
+    }
+
+    /// Eq. 3.4: `e = (1/NC) Σ_k 1/S_k`, where `S_k` is the slowdown
+    /// member `k` suffers from its co-runners. For a member of class
+    /// `c`, the slowdown is averaged over the other `NC − 1` members'
+    /// classes in the interference matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on patterns with fewer than two members (a lone app has no
+    /// co-run slowdown).
+    pub fn e_coefficient(&self, matrix: &InterferenceMatrix) -> f64 {
+        let members = self.members();
+        assert!(members.len() >= 2, "pattern needs at least two members");
+        let nc = members.len() as f64;
+        let mut sum = 0.0;
+        for (k, &me) in members.iter().enumerate() {
+            let mut s = 0.0;
+            let mut n = 0.0;
+            for (j, &other) in members.iter().enumerate() {
+                if j != k {
+                    s += matrix.slowdown(me, other);
+                    n += 1.0;
+                }
+            }
+            let avg_slowdown = s / n;
+            sum += 1.0 / avg_slowdown.max(1e-9);
+        }
+        sum / nc
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let members = self.members();
+        let labels: Vec<&str> = members.iter().map(|c| c.label()).collect();
+        write!(f, "{}", labels.join("-"))
+    }
+}
+
+/// Enumerates every multiset of `nc` classes in lexicographic order
+/// (Eq. 3.2 predicts the count). The order matches the thesis'
+/// Appendix A listing for `nc = 2`:
+/// `M-M, M-MC, M-C, M-A, MC-MC, MC-C, MC-A, C-C, C-A, A-A`.
+pub fn enumerate_patterns(nc: u32) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    let mut counts = [0u8; AppClass::COUNT];
+    fill(&mut out, &mut counts, 0, nc);
+    out
+}
+
+fn fill(out: &mut Vec<Pattern>, counts: &mut [u8; AppClass::COUNT], from: usize, left: u32) {
+    if left == 0 {
+        out.push(Pattern::new(*counts));
+        return;
+    }
+    if from >= AppClass::COUNT {
+        return;
+    }
+    // Lexicographic multiset enumeration: first class index is
+    // non-decreasing, so M-heavy patterns come first (Appendix A order).
+    for take in (0..=left).rev() {
+        counts[from] = take as u8;
+        fill(out, counts, from + 1, left - take);
+    }
+    counts[from] = 0;
+}
+
+/// `C(nt + nc - 1, nc)` — the paper's `NP` (Eq. 3.2).
+pub fn num_patterns(nt: u32, nc: u32) -> u64 {
+    binomial(u64::from(nt + nc - 1), u64::from(nc))
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceMatrix;
+
+    #[test]
+    fn count_matches_eq_32() {
+        assert_eq!(enumerate_patterns(2).len() as u64, num_patterns(4, 2));
+        assert_eq!(enumerate_patterns(3).len() as u64, num_patterns(4, 3));
+        assert_eq!(num_patterns(4, 2), 10);
+        assert_eq!(num_patterns(4, 3), 20);
+    }
+
+    #[test]
+    fn appendix_a_order_for_pairs() {
+        let pats = enumerate_patterns(2);
+        let shown: Vec<String> = pats.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            shown,
+            vec![
+                "M-M", "M-MC", "M-C", "M-A", "MC-MC", "MC-C", "MC-A", "C-C", "C-A", "A-A"
+            ]
+        );
+    }
+
+    #[test]
+    fn pattern_sizes_are_nc() {
+        for p in enumerate_patterns(3) {
+            assert_eq!(p.size(), 3);
+            assert_eq!(p.members().len(), 3);
+        }
+    }
+
+    #[test]
+    fn patterns_are_distinct() {
+        let pats = enumerate_patterns(3);
+        for (i, a) in pats.iter().enumerate() {
+            for b in &pats[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn e_coefficient_prefers_gentle_pairs() {
+        let m = InterferenceMatrix::synthetic_paper_shape();
+        let pats = enumerate_patterns(2);
+        let e: Vec<f64> = pats.iter().map(|p| p.e_coefficient(&m)).collect();
+        // A-A (last) must beat M-M (first): class M applications
+        // destroy each other through the memory controllers.
+        assert!(
+            e[9] > e[0] * 2.0,
+            "e(A-A) = {} should dwarf e(M-M) = {}",
+            e[9],
+            e[0]
+        );
+    }
+
+    #[test]
+    fn e_symmetric_pair_is_inverse_slowdown() {
+        let m = InterferenceMatrix::uniform(2.0);
+        let p = Pattern::new([2, 0, 0, 0]);
+        assert!((p.e_coefficient(&m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn singleton_pattern_panics() {
+        let m = InterferenceMatrix::uniform(1.0);
+        Pattern::new([1, 0, 0, 0]).e_coefficient(&m);
+    }
+
+    #[test]
+    fn binomial_edges() {
+        assert_eq!(num_patterns(4, 1), 4);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

@@ -1,0 +1,640 @@
+//! End-to-end queue execution under every evaluated policy.
+//!
+//! The thesis compares:
+//!
+//! * **Even** — applications co-run in arrival order with an equal SM
+//!   split (the baseline of every figure);
+//! * **Serial** — one application at a time on the whole device;
+//! * **FCFS** — groups formed in arrival order;
+//! * **ILP** — groups chosen by the contention-minimization ILP
+//!   (§3.2.3);
+//! * **Profile-based \[17\]** — arrival-order groups with a static SM
+//!   split chosen from offline alone-run scalability curves
+//!   (Adriaens et al., HPCA 2012);
+//! * **ILP-SMRA** — ILP grouping plus the Algorithm 1 dynamic SM
+//!   reallocation controller.
+//!
+//! A [`Pipeline`] caches the expensive inputs (profiles, classes, the
+//! interference matrix, scalability curves) so one set of measurements
+//! serves every policy — exactly how the thesis' flow works.
+
+use std::collections::BTreeMap;
+
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_sim::kernel::AppId;
+use gcs_workloads::{Benchmark, Scale};
+
+use crate::classify::{classify_suite, AppClass, Thresholds};
+use crate::ilp::solve_grouping;
+use crate::interference::InterferenceMatrix;
+use crate::profile::{profile_alone, scalability_curve, AppProfile, PROFILE_MAX_CYCLES};
+use crate::smra::{SmraController, SmraParams};
+use crate::CoreError;
+
+/// How groups are formed from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupingPolicy {
+    /// One application at a time.
+    Serial,
+    /// Arrival-order chunks of `concurrency`.
+    Fcfs,
+    /// The paper's ILP grouping.
+    Ilp,
+}
+
+/// How SMs are divided inside a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocationPolicy {
+    /// Equal split (baseline).
+    Even,
+    /// Static split from offline scalability curves (Adriaens \[17\]).
+    ProfileBased,
+    /// Dynamic reallocation (Algorithm 1).
+    Smra,
+}
+
+/// Execution parameters shared by a set of runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Device model.
+    pub gpu: GpuConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Applications per co-run group (the paper's `NC`; 2 or 3).
+    pub concurrency: u32,
+}
+
+impl RunConfig {
+    /// GTX 480 at full workload scale, two concurrent applications.
+    pub fn gtx480_pairs() -> RunConfig {
+        RunConfig {
+            gpu: GpuConfig::gtx480(),
+            scale: Scale::FULL,
+            concurrency: 2,
+        }
+    }
+}
+
+/// Per-application outcome inside one group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRun {
+    /// Which benchmark ran.
+    pub bench: Benchmark,
+    /// Cycles from its first dispatch to retirement.
+    pub cycles: u64,
+    /// Thread instructions retired.
+    pub thread_insts: u64,
+    /// Thread IPC over its own runtime.
+    pub ipc: f64,
+}
+
+/// Outcome of one co-run group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupResult {
+    /// Group members in launch order.
+    pub apps: Vec<AppRun>,
+    /// Group makespan in cycles (all members finished).
+    pub makespan: u64,
+}
+
+impl GroupResult {
+    /// Group device throughput: all members' instructions over the
+    /// makespan.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let insts: u64 = self.apps.iter().map(|a| a.thread_insts).sum();
+        insts as f64 / self.makespan as f64
+    }
+}
+
+/// Outcome of a whole queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueReport {
+    /// Groups in execution order.
+    pub groups: Vec<GroupResult>,
+    /// Sum of group makespans (groups run back-to-back).
+    pub total_cycles: u64,
+    /// Total thread instructions.
+    pub total_thread_insts: u64,
+    /// Device throughput over the whole queue (Eq. 1.1).
+    pub device_throughput: f64,
+}
+
+impl QueueReport {
+    /// Per-benchmark mean IPC across the queue (Fig 4.4-4.8's bars).
+    pub fn per_bench_ipc(&self) -> Vec<(Benchmark, f64)> {
+        let mut acc: BTreeMap<Benchmark, (f64, u32)> = BTreeMap::new();
+        for g in &self.groups {
+            for a in &g.apps {
+                let e = acc.entry(a.bench).or_insert((0.0, 0));
+                e.0 += a.ipc;
+                e.1 += 1;
+            }
+        }
+        acc.into_iter()
+            .map(|(b, (sum, n))| (b, sum / f64::from(n)))
+            .collect()
+    }
+}
+
+/// Cached measurement state driving every policy.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: RunConfig,
+    profiles: BTreeMap<Benchmark, AppProfile>,
+    classes: BTreeMap<Benchmark, AppClass>,
+    thresholds: Thresholds,
+    matrix: InterferenceMatrix,
+    curves: BTreeMap<Benchmark, Vec<(u32, f64)>>,
+}
+
+impl Pipeline {
+    /// Profiles the full 14-benchmark suite, classifies it, and measures
+    /// the class interference matrix on the configured device by
+    /// co-running **every** benchmark pair (§3.2.2's procedure; 14 alone
+    /// runs + 105 co-runs). For a cheaper approximation, combine
+    /// [`InterferenceMatrix::measure`] with [`Pipeline::with_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn new(cfg: RunConfig) -> Result<Self, CoreError> {
+        let matrix = InterferenceMatrix::measure_full(&cfg.gpu, cfg.scale)?;
+        Self::with_matrix(cfg, matrix)
+    }
+
+    /// Like [`Pipeline::new`] but with a caller-provided interference
+    /// matrix (e.g. [`InterferenceMatrix::synthetic_paper_shape`] to
+    /// skip the measurement co-runs in tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from the alone-run profiling.
+    pub fn with_matrix(cfg: RunConfig, matrix: InterferenceMatrix) -> Result<Self, CoreError> {
+        let mut profiles = BTreeMap::new();
+        for b in Benchmark::ALL {
+            profiles.insert(b, profile_alone(&b.kernel(cfg.scale), &cfg.gpu)?);
+        }
+        let ordered: Vec<AppProfile> = Benchmark::ALL
+            .iter()
+            .map(|b| profiles[b].clone())
+            .collect();
+        let (thresholds, class_list) = classify_suite(&cfg.gpu, &ordered);
+        let classes = Benchmark::ALL.iter().copied().zip(class_list).collect();
+        Ok(Pipeline {
+            cfg,
+            profiles,
+            classes,
+            thresholds,
+            matrix,
+            curves: BTreeMap::new(),
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Measured alone-run profile of `bench`.
+    pub fn profile(&self, bench: Benchmark) -> &AppProfile {
+        &self.profiles[&bench]
+    }
+
+    /// Measured class of `bench`.
+    pub fn class_of(&self, bench: Benchmark) -> AppClass {
+        self.classes[&bench]
+    }
+
+    /// Thresholds derived from the measured suite.
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// The interference matrix in use.
+    pub fn matrix(&self) -> &InterferenceMatrix {
+        &self.matrix
+    }
+
+    /// Forms groups from `queue` under `policy`.
+    ///
+    /// For [`GroupingPolicy::Ilp`], apps beyond the largest
+    /// `concurrency`-divisible prefix count are grouped FCFS at the end
+    /// (the thesis assumes divisible queues).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Milp`] if the ILP solve fails.
+    pub fn group(
+        &self,
+        queue: &[Benchmark],
+        policy: GroupingPolicy,
+    ) -> Result<Vec<Vec<Benchmark>>, CoreError> {
+        let nc = self.cfg.concurrency.max(1);
+        match policy {
+            GroupingPolicy::Serial => Ok(queue.iter().map(|&b| vec![b]).collect()),
+            GroupingPolicy::Fcfs => Ok(queue.chunks(nc as usize).map(<[_]>::to_vec).collect()),
+            GroupingPolicy::Ilp => self.group_ilp(queue, nc),
+        }
+    }
+
+    fn group_ilp(&self, queue: &[Benchmark], nc: u32) -> Result<Vec<Vec<Benchmark>>, CoreError> {
+        if nc < 2 {
+            return Ok(queue.iter().map(|&b| vec![b]).collect());
+        }
+        let usable = (queue.len() as u32 / nc) * nc;
+        let head = &queue[..usable as usize];
+        let tail = &queue[usable as usize..];
+
+        let mut census = [0u32; AppClass::COUNT];
+        for &b in head {
+            census[self.class_of(b).index()] += 1;
+        }
+        let solution = solve_grouping(census, nc, &self.matrix)?;
+
+        // Instantiate patterns FCFS within each class.
+        let mut pools: [Vec<Benchmark>; AppClass::COUNT] = Default::default();
+        for &b in head {
+            pools[self.class_of(b).index()].push(b);
+        }
+        for pool in &mut pools {
+            pool.reverse(); // pop() takes the earliest arrival
+        }
+        let mut groups = Vec::new();
+        for classes in solution.groups() {
+            let mut group = Vec::with_capacity(classes.len());
+            for class in classes {
+                let b = pools[class.index()]
+                    .pop()
+                    .expect("census guarantees availability");
+                group.push(b);
+            }
+            groups.push(group);
+        }
+        if !tail.is_empty() {
+            groups.push(tail.to_vec());
+        }
+        Ok(groups)
+    }
+
+    /// Executes one group under `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_group(
+        &mut self,
+        group: &[Benchmark],
+        alloc: AllocationPolicy,
+    ) -> Result<GroupResult, CoreError> {
+        assert!(!group.is_empty(), "empty group");
+        let mut gpu = Gpu::new(self.cfg.gpu.clone())?;
+        let mut ids: Vec<AppId> = Vec::with_capacity(group.len());
+        for &b in group {
+            ids.push(gpu.launch(b.kernel(self.cfg.scale))?);
+        }
+
+        match alloc {
+            AllocationPolicy::Even => {
+                gpu.partition_even();
+                gpu.run(PROFILE_MAX_CYCLES)?;
+            }
+            AllocationPolicy::ProfileBased => {
+                let counts = self.profile_based_split(group)?;
+                gpu.partition_counts(&counts);
+                gpu.run(PROFILE_MAX_CYCLES)?;
+            }
+            AllocationPolicy::Smra => {
+                gpu.partition_even();
+                let params =
+                    SmraParams::for_device(self.cfg.gpu.num_sms, group.len() as u32);
+                let mut ctl = SmraController::new(params, ids.clone(), &gpu);
+                ctl.run_to_completion(&mut gpu, PROFILE_MAX_CYCLES)?;
+            }
+        }
+
+        let apps = group
+            .iter()
+            .zip(&ids)
+            .map(|(&bench, &id)| {
+                let s = gpu.stats().app(id);
+                let cycles = s.runtime_cycles().max(1);
+                AppRun {
+                    bench,
+                    cycles,
+                    thread_insts: s.thread_insts,
+                    ipc: s.thread_insts as f64 / cycles as f64,
+                }
+            })
+            .collect();
+        Ok(GroupResult {
+            apps,
+            makespan: gpu.cycle(),
+        })
+    }
+
+    /// Executes a whole queue: group, then run groups back-to-back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping and simulation errors.
+    pub fn run_queue(
+        &mut self,
+        queue: &[Benchmark],
+        grouping: GroupingPolicy,
+        alloc: AllocationPolicy,
+    ) -> Result<QueueReport, CoreError> {
+        let groups = self.group(queue, grouping)?;
+        let mut results = Vec::with_capacity(groups.len());
+        for g in &groups {
+            results.push(self.run_group(g, alloc)?);
+        }
+        let total_cycles: u64 = results.iter().map(|r| r.makespan).sum();
+        let total_thread_insts: u64 = results
+            .iter()
+            .flat_map(|r| r.apps.iter().map(|a| a.thread_insts))
+            .sum();
+        Ok(QueueReport {
+            groups: results,
+            total_cycles,
+            total_thread_insts,
+            device_throughput: if total_cycles == 0 {
+                0.0
+            } else {
+                total_thread_insts as f64 / total_cycles as f64
+            },
+        })
+    }
+
+    /// The Profile-based \[17\] static split: maximize the sum of
+    /// interpolated alone-run IPC curves over integer splits that give
+    /// every member at least one SM.
+    fn profile_based_split(&mut self, group: &[Benchmark]) -> Result<Vec<u32>, CoreError> {
+        let n_sms = self.cfg.gpu.num_sms;
+        if group.len() == 1 {
+            return Ok(vec![n_sms]);
+        }
+        for &b in group {
+            self.ensure_curve(b)?;
+        }
+        let est = |b: Benchmark, sms: u32| -> f64 { interpolate(&self.curves[&b], sms) };
+
+        match group.len() {
+            2 => {
+                let (mut best_s, mut best_v) = (n_sms / 2, f64::MIN);
+                for s in 1..n_sms {
+                    let v = est(group[0], s) + est(group[1], n_sms - s);
+                    if v > best_v {
+                        best_v = v;
+                        best_s = s;
+                    }
+                }
+                Ok(vec![best_s, n_sms - best_s])
+            }
+            3 => {
+                let mut best = (n_sms / 3, n_sms / 3);
+                let mut best_v = f64::MIN;
+                for a in 1..n_sms - 1 {
+                    for b in 1..n_sms - a {
+                        let c = n_sms - a - b;
+                        let v = est(group[0], a) + est(group[1], b) + est(group[2], c);
+                        if v > best_v {
+                            best_v = v;
+                            best = (a, b);
+                        }
+                    }
+                }
+                Ok(vec![best.0, best.1, n_sms - best.0 - best.1])
+            }
+            n => {
+                // Larger groups: even split (the paper never exceeds 3).
+                let per = n_sms / n as u32;
+                let mut counts = vec![per; n];
+                counts[0] += n_sms - per * n as u32;
+                Ok(counts)
+            }
+        }
+    }
+
+    fn ensure_curve(&mut self, bench: Benchmark) -> Result<(), CoreError> {
+        if self.curves.contains_key(&bench) {
+            return Ok(());
+        }
+        let n = self.cfg.gpu.num_sms;
+        let mut grid: Vec<u32> = [n / 6, n / 3, n / 2, 2 * n / 3, 5 * n / 6, n]
+            .into_iter()
+            .map(|x| x.max(1))
+            .collect();
+        grid.sort_unstable();
+        grid.dedup();
+        let curve = scalability_curve(&bench.kernel(self.cfg.scale), &self.cfg.gpu, &grid)?;
+        self.curves.insert(bench, curve);
+        Ok(())
+    }
+}
+
+/// Linear interpolation over a measured `(sms, ipc)` curve.
+fn interpolate(curve: &[(u32, f64)], sms: u32) -> f64 {
+    debug_assert!(!curve.is_empty());
+    if sms <= curve[0].0 {
+        // Extrapolate proportionally below the first sample.
+        return curve[0].1 * f64::from(sms) / f64::from(curve[0].0.max(1));
+    }
+    for w in curve.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if sms <= x1 {
+            let t = f64::from(sms - x0) / f64::from(x1 - x0).max(1.0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    curve.last().expect("non-empty").1
+}
+
+/// One-shot convenience: builds a full [`Pipeline`] (profiling suite +
+/// measuring interference) and runs `queue`. Prefer constructing a
+/// [`Pipeline`] once when running several policies.
+///
+/// # Errors
+///
+/// Propagates pipeline construction and execution errors.
+pub fn run_queue(
+    queue: &[Benchmark],
+    grouping: GroupingPolicy,
+    alloc: AllocationPolicy,
+    cfg: &RunConfig,
+) -> Result<QueueReport, CoreError> {
+    Pipeline::new(cfg.clone())?.run_queue(queue, grouping, alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pipeline() -> Pipeline {
+        let cfg = RunConfig {
+            gpu: GpuConfig::test_small(),
+            scale: Scale::TEST,
+            concurrency: 2,
+        };
+        Pipeline::with_matrix(cfg, InterferenceMatrix::synthetic_paper_shape()).unwrap()
+    }
+
+    #[test]
+    fn grouping_policies_cover_queue() {
+        let p = test_pipeline();
+        let queue = vec![
+            Benchmark::Blk,
+            Benchmark::Sad,
+            Benchmark::Gups,
+            Benchmark::Hs,
+        ];
+        for policy in [GroupingPolicy::Serial, GroupingPolicy::Fcfs, GroupingPolicy::Ilp] {
+            let groups = p.group(&queue, policy).unwrap();
+            let flat: Vec<Benchmark> = groups.iter().flatten().copied().collect();
+            let mut sorted = flat.clone();
+            sorted.sort_unstable();
+            let mut want = queue.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want, "{policy:?} lost or duplicated apps");
+        }
+    }
+
+    #[test]
+    fn serial_groups_are_singletons() {
+        let p = test_pipeline();
+        let groups = p
+            .group(&[Benchmark::Blk, Benchmark::Hs], GroupingPolicy::Serial)
+            .unwrap();
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let p = test_pipeline();
+        let q = vec![
+            Benchmark::Blk,
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Sad,
+        ];
+        let groups = p.group(&q, GroupingPolicy::Fcfs).unwrap();
+        assert_eq!(groups[0], vec![Benchmark::Blk, Benchmark::Gups]);
+        assert_eq!(groups[1], vec![Benchmark::Hs, Benchmark::Sad]);
+    }
+
+    #[test]
+    fn ilp_handles_indivisible_tail() {
+        let p = test_pipeline();
+        let q = vec![
+            Benchmark::Blk,
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Sad,
+            Benchmark::Lud,
+        ];
+        let groups = p.group(&q, GroupingPolicy::Ilp).unwrap();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        assert_eq!(groups.last().unwrap().len(), 1, "tail group");
+    }
+
+    #[test]
+    fn run_group_even_reports_all_members() {
+        let mut p = test_pipeline();
+        let r = p
+            .run_group(&[Benchmark::Lud, Benchmark::Sad], AllocationPolicy::Even)
+            .unwrap();
+        assert_eq!(r.apps.len(), 2);
+        assert!(r.makespan > 0);
+        assert!(r.throughput() > 0.0);
+        for a in &r.apps {
+            assert!(a.cycles <= r.makespan);
+            assert!(a.thread_insts > 0);
+        }
+    }
+
+    #[test]
+    fn queue_report_accounting() {
+        let mut p = test_pipeline();
+        let q = vec![Benchmark::Lud, Benchmark::Sad];
+        let r = p
+            .run_queue(&q, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+            .unwrap();
+        assert_eq!(r.groups.len(), 1);
+        assert_eq!(
+            r.total_cycles,
+            r.groups.iter().map(|g| g.makespan).sum::<u64>()
+        );
+        let per = r.per_bench_ipc();
+        assert_eq!(per.len(), 2);
+    }
+
+    #[test]
+    fn interpolation_behaviour() {
+        let curve = vec![(10u32, 100.0), (20, 150.0), (30, 160.0)];
+        assert!((interpolate(&curve, 10) - 100.0).abs() < 1e-9);
+        assert!((interpolate(&curve, 15) - 125.0).abs() < 1e-9);
+        assert!((interpolate(&curve, 30) - 160.0).abs() < 1e-9);
+        assert!((interpolate(&curve, 40) - 160.0).abs() < 1e-9, "clamps above");
+        assert!((interpolate(&curve, 5) - 50.0).abs() < 1e-9, "proportional below");
+    }
+
+    #[test]
+    fn pipeline_getters_are_consistent() {
+        let p = test_pipeline();
+        for b in Benchmark::ALL {
+            let prof = p.profile(b);
+            assert_eq!(prof.name, b.name());
+            // The stored class must equal re-classifying the stored
+            // profile under the stored thresholds.
+            assert_eq!(
+                p.class_of(b),
+                crate::classify::classify(prof, p.thresholds()),
+                "{b}: cached class diverges from thresholds"
+            );
+        }
+        assert_eq!(p.config().concurrency, 2);
+    }
+
+    #[test]
+    fn per_bench_ipc_averages_repeated_entries() {
+        let mut p = test_pipeline();
+        // LUD appears twice: its per-bench entry must be the mean of two
+        // runs, not a duplicate.
+        let q = vec![Benchmark::Lud, Benchmark::Sad, Benchmark::Lud, Benchmark::Hs];
+        let r = p
+            .run_queue(&q, GroupingPolicy::Fcfs, AllocationPolicy::Even)
+            .unwrap();
+        let per = r.per_bench_ipc();
+        assert_eq!(per.len(), 3, "three distinct benchmarks");
+        let lud = per
+            .iter()
+            .find(|(b, _)| *b == Benchmark::Lud)
+            .expect("LUD present");
+        assert!(lud.1 > 0.0);
+    }
+
+    #[test]
+    fn smra_allocation_runs_groups_to_completion() {
+        let mut p = test_pipeline();
+        let r = p
+            .run_group(&[Benchmark::Gups, Benchmark::Sad], AllocationPolicy::Smra)
+            .unwrap();
+        assert_eq!(r.apps.len(), 2);
+        assert!(r.apps.iter().all(|a| a.thread_insts > 0));
+    }
+
+    #[test]
+    fn profile_based_split_sums_to_device() {
+        let mut p = test_pipeline();
+        let counts = p
+            .profile_based_split(&[Benchmark::Gups, Benchmark::Sad])
+            .unwrap();
+        assert_eq!(counts.iter().sum::<u32>(), 8);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+}

@@ -1,0 +1,353 @@
+//! SMRA — the dynamic SM reallocation controller (§3.2.4, Algorithm 1).
+//!
+//! Every `T_C` cycles the controller scores each running application
+//! from windowed statistics: +1 if its IPC is below `IPC_thr`, +1 if its
+//! DRAM bandwidth exceeds `BW_thr`. A high score means the application
+//! ties up SMs while waiting on memory; the controller drains `n_r` SMs
+//! from the highest-scoring application and hands them to the
+//! lowest-scoring one. If device throughput *dropped* since the last
+//! window, the previous move is reverted instead. `R_min` floors every
+//! application's allocation.
+
+use gcs_sim::gpu::Gpu;
+use gcs_sim::kernel::AppId;
+use gcs_sim::stats::{window_between, SimStats};
+
+/// Tunables of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmraParams {
+    /// Window length `T_C` in cycles between controller decisions.
+    pub tc: u64,
+    /// IPC threshold as a fraction of the app's fair-share peak
+    /// (`frac × peak_thread_ipc × sm_share`).
+    pub ipc_thr_frac: f64,
+    /// Bandwidth threshold as a fraction of the app's fair share of
+    /// peak DRAM bytes/cycle.
+    pub bw_thr_frac: f64,
+    /// SMs moved per decision (`n_r`).
+    pub nr: u32,
+    /// Minimum SMs an application keeps (`R_min`).
+    pub r_min: u32,
+}
+
+impl SmraParams {
+    /// Defaults used by the evaluation harness: `T_C` = 5000 cycles,
+    /// thresholds at half the fair share, 2 SMs per move, floor of 4
+    /// SMs (scaled down for small devices by [`SmraParams::for_device`]).
+    pub fn for_device(num_sms: u32, num_apps: u32) -> SmraParams {
+        let share = (num_sms / num_apps.max(1)).max(1);
+        SmraParams {
+            tc: 5_000,
+            ipc_thr_frac: 0.5,
+            bw_thr_frac: 0.5,
+            nr: (share / 8).max(1),
+            r_min: (share / 4).max(1),
+        }
+    }
+}
+
+impl Default for SmraParams {
+    fn default() -> Self {
+        SmraParams::for_device(60, 2)
+    }
+}
+
+/// One controller decision, reported for tracing/tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmraAction {
+    /// No change this window (scores tied, or apps finished).
+    Hold,
+    /// Moved `n` SMs from `from` to `to`.
+    Move {
+        /// Donor application.
+        from: AppId,
+        /// Recipient application.
+        to: AppId,
+        /// SMs moved.
+        n: u32,
+    },
+    /// Reverted the previous move because throughput dropped.
+    Revert,
+}
+
+/// Algorithm 1 state.
+#[derive(Debug)]
+pub struct SmraController {
+    params: SmraParams,
+    apps: Vec<AppId>,
+    prev_throughput: Option<f64>,
+    last_move: Option<(AppId, AppId, u32)>,
+    prev_stats: SimStats,
+    actions: Vec<SmraAction>,
+}
+
+impl SmraController {
+    /// Creates a controller for `apps` with `params`, snapshotting the
+    /// device's current counters as the first window baseline.
+    pub fn new(params: SmraParams, apps: Vec<AppId>, gpu: &Gpu) -> Self {
+        SmraController {
+            params,
+            apps,
+            prev_throughput: None,
+            last_move: None,
+            prev_stats: gpu.stats().clone(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Parameters in force.
+    pub fn params(&self) -> &SmraParams {
+        &self.params
+    }
+
+    /// Decision log (most recent last).
+    pub fn actions(&self) -> &[SmraAction] {
+        &self.actions
+    }
+
+    /// Runs the co-scheduled group to completion, invoking the
+    /// controller every `T_C` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (timeout after `max_cycles`).
+    pub fn run_to_completion(
+        &mut self,
+        gpu: &mut Gpu,
+        max_cycles: u64,
+    ) -> Result<(), gcs_sim::SimError> {
+        while !gpu.all_done() {
+            if gpu.cycle() >= max_cycles {
+                return Err(gcs_sim::SimError::Timeout { cycle: gpu.cycle() });
+            }
+            gpu.run_for(self.params.tc);
+            if !gpu.all_done() {
+                self.decide(gpu);
+            }
+        }
+        Ok(())
+    }
+
+    /// One Algorithm 1 decision based on the window since the previous
+    /// call. Returns the action taken.
+    pub fn decide(&mut self, gpu: &mut Gpu) -> SmraAction {
+        let now_stats = gpu.stats().clone();
+        let delta = now_stats.cycles.saturating_sub(self.prev_stats.cycles);
+        if delta == 0 {
+            return self.log(SmraAction::Hold);
+        }
+        let window = window_between(&self.prev_stats, &now_stats, delta);
+        self.prev_stats = now_stats;
+
+        // Revert when the previous move hurt device throughput
+        // (Algorithm 1's `while T > Tp` guard).
+        let throughput = window.device_ipc;
+        if let (Some(prev), Some((from, to, n))) = (self.prev_throughput, self.last_move) {
+            if throughput < prev * 0.995 {
+                gpu.transfer_sms(to, from, n);
+                self.last_move = None;
+                self.prev_throughput = Some(throughput);
+                return self.log(SmraAction::Revert);
+            }
+        }
+        self.prev_throughput = Some(throughput);
+
+        // Score the running applications.
+        let cfg = gpu.config();
+        let peak_ipc = cfg.peak_thread_ipc();
+        let peak_bw = cfg.peak_dram_bytes_per_cycle();
+        let running: Vec<AppId> = self
+            .apps
+            .iter()
+            .copied()
+            .filter(|&a| !gpu.app_finished(a))
+            .collect();
+        if running.len() < 2 {
+            self.last_move = None;
+            return self.log(SmraAction::Hold);
+        }
+        let mut scored: Vec<(AppId, u32, u32)> = Vec::with_capacity(running.len());
+        for &app in &running {
+            let sms = gpu.sm_count(app);
+            let share = f64::from(sms) / f64::from(cfg.num_sms);
+            let ipc_thr = self.params.ipc_thr_frac * peak_ipc * share;
+            let bw_thr = self.params.bw_thr_frac * peak_bw / running.len() as f64;
+            let slot = usize::from(app.0);
+            let mut v = 0u32;
+            if window.app_ipc[slot] < ipc_thr {
+                v += 1;
+            }
+            if window.app_bw[slot] > bw_thr {
+                v += 2;
+            }
+            scored.push((app, v, sms));
+        }
+
+        let &(worst, worst_v, worst_sms) = scored
+            .iter()
+            .max_by_key(|&&(_, v, _)| v)
+            .expect("running is non-empty");
+        let &(best, best_v, _) = scored
+            .iter()
+            .min_by_key(|&&(_, v, _)| v)
+            .expect("running is non-empty");
+        // Tied scores: all apps behave alike, keep the partition
+        // (Algorithm 1's break on V[i] == V[i+1]).
+        if worst_v == best_v {
+            self.last_move = None;
+            return self.log(SmraAction::Hold);
+        }
+        // Respect R_min on the donor.
+        let n = self.params.nr;
+        if worst_sms < self.params.r_min + n {
+            self.last_move = None;
+            return self.log(SmraAction::Hold);
+        }
+        let moved = gpu.transfer_sms(worst, best, n);
+        if moved == 0 {
+            self.last_move = None;
+            return self.log(SmraAction::Hold);
+        }
+        self.last_move = Some((worst, best, moved));
+        self.log(SmraAction::Move {
+            from: worst,
+            to: best,
+            n: moved,
+        })
+    }
+
+    fn log(&mut self, action: SmraAction) -> SmraAction {
+        self.actions.push(action);
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::config::GpuConfig;
+    use gcs_workloads::{Benchmark, Scale};
+
+    fn co_run(smra: bool) -> (u64, Vec<SmraAction>) {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg).unwrap();
+        // GUPS wastes SMs on memory stalls; SAD can use them.
+        let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        if smra {
+            let params = SmraParams {
+                tc: 2_000,
+                ..SmraParams::for_device(8, 2)
+            };
+            let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+            ctl.run_to_completion(&mut gpu, 80_000_000).unwrap();
+            (gpu.cycle(), ctl.actions().to_vec())
+        } else {
+            gpu.run(80_000_000).unwrap();
+            (gpu.cycle(), Vec::new())
+        }
+    }
+
+    #[test]
+    fn controller_takes_actions() {
+        let (_, actions) = co_run(true);
+        assert!(!actions.is_empty(), "controller never ran");
+    }
+
+    #[test]
+    fn smra_does_not_catastrophically_regress() {
+        let (even, _) = co_run(false);
+        let (smra, _) = co_run(true);
+        // The revert guard bounds the damage; allow 25% slack on the
+        // tiny test device.
+        assert!(
+            (smra as f64) < (even as f64) * 1.25,
+            "SMRA {smra} vs Even {even}"
+        );
+    }
+
+    #[test]
+    fn params_scale_with_device() {
+        let small = SmraParams::for_device(8, 2);
+        let large = SmraParams::for_device(60, 2);
+        assert!(small.nr >= 1 && small.r_min >= 1);
+        assert!(large.nr > small.nr || large.r_min > small.r_min);
+    }
+
+    #[test]
+    fn revert_follows_throughput_drop() {
+        // Drive the controller with synthetic windows by manipulating a
+        // real device: after a move, if device IPC falls the controller
+        // must revert rather than keep digging.
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        let params = SmraParams {
+            tc: 1_000,
+            nr: 1,
+            r_min: 1,
+            ..SmraParams::for_device(8, 2)
+        };
+        let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+        ctl.run_to_completion(&mut gpu, 80_000_000).unwrap();
+        // If any revert happened, a move must have preceded it.
+        let acts = ctl.actions();
+        for (i, act) in acts.iter().enumerate() {
+            if matches!(act, SmraAction::Revert) {
+                assert!(
+                    acts[..i]
+                        .iter()
+                        .rev()
+                        .find(|a| !matches!(a, SmraAction::Hold))
+                        .is_some_and(|a| matches!(a, SmraAction::Move { .. })),
+                    "revert without a preceding move: {acts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r_min_floor_is_respected() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        let params = SmraParams {
+            tc: 1_000,
+            nr: 1,
+            r_min: 3,
+            ..SmraParams::for_device(8, 2)
+        };
+        let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+        while !gpu.all_done() {
+            gpu.run_for(params.tc);
+            if !gpu.all_done() {
+                ctl.decide(&mut gpu);
+                if !gpu.app_finished(a) && !gpu.app_finished(b) {
+                    assert!(
+                        gpu.sm_count(a) >= params.r_min,
+                        "donor dipped below R_min: {}",
+                        gpu.sm_count(a)
+                    );
+                    assert!(gpu.sm_count(b) >= params.r_min);
+                }
+            }
+            assert!(gpu.cycle() < 80_000_000, "runaway");
+        }
+    }
+
+    #[test]
+    fn decide_holds_with_one_running_app() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let a = gpu.launch(Benchmark::Lud.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        let mut ctl = SmraController::new(SmraParams::for_device(8, 1), vec![a], &gpu);
+        gpu.run_for(100);
+        assert_eq!(ctl.decide(&mut gpu), SmraAction::Hold);
+    }
+}

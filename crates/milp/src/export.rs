@@ -1,0 +1,135 @@
+//! Export of problems to the CPLEX LP text format.
+//!
+//! Useful for debugging a formulation against an external solver, and
+//! for regression-testing the exact ILPs the co-scheduler builds. Only
+//! the subset of the format the crate can produce is emitted: an
+//! objective, linear constraints, and integrality markers (all
+//! variables are non-negative by construction, which is the LP-format
+//! default).
+
+use crate::problem::{Problem, Relation, Sense};
+use std::fmt::Write as _;
+
+/// Renders `problem` in CPLEX LP format.
+///
+/// Variables are named `x0, x1, ...` in index order; constraints
+/// `c0, c1, ...`.
+///
+/// # Example
+///
+/// ```
+/// use gcs_milp::{Problem, Relation};
+/// use gcs_milp::export::to_lp_string;
+///
+/// let mut p = Problem::maximize(vec![3.0, 2.0]);
+/// p.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0);
+/// p.set_all_integer(true);
+/// let text = to_lp_string(&p);
+/// assert!(text.starts_with("Maximize"));
+/// assert!(text.contains("c0: 1 x0 + 1 x1 <= 4"));
+/// assert!(text.contains("General"));
+/// ```
+pub fn to_lp_string(problem: &Problem) -> String {
+    let mut out = String::new();
+    out.push_str(match problem.sense() {
+        Sense::Maximize => "Maximize\n",
+        Sense::Minimize => "Minimize\n",
+    });
+    out.push_str(" obj:");
+    write_linear(&mut out, problem.objective());
+    out.push_str("\nSubject To\n");
+    for (i, c) in problem.constraints().iter().enumerate() {
+        let _ = write!(out, " c{i}:");
+        write_linear(&mut out, &c.coeffs);
+        let rel = match c.rel {
+            Relation::Le => "<=",
+            Relation::Eq => "=",
+            Relation::Ge => ">=",
+        };
+        let _ = writeln!(out, " {rel} {}", trim_float(c.rhs));
+    }
+    let integers: Vec<usize> = (0..problem.num_vars())
+        .filter(|&i| problem.is_integer(i))
+        .collect();
+    if !integers.is_empty() {
+        out.push_str("General\n");
+        for i in integers {
+            let _ = write!(out, " x{i}");
+        }
+        out.push('\n');
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn write_linear(out: &mut String, coeffs: &[f64]) {
+    let mut first = true;
+    for (i, &c) in coeffs.iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        if first {
+            let _ = write!(out, " {} x{i}", trim_float(c));
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(out, " - {} x{i}", trim_float(-c));
+        } else {
+            let _ = write!(out, " + {} x{i}", trim_float(c));
+        }
+    }
+    if first {
+        out.push_str(" 0 x0");
+    }
+}
+
+/// Prints floats without a trailing `.0` for integral values.
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Problem, Relation};
+
+    #[test]
+    fn full_document_structure() {
+        let mut p = Problem::maximize(vec![1.5, -2.0, 0.0]);
+        p.add_constraint(vec![1.0, 2.0, 0.0], Relation::Le, 10.0);
+        p.add_constraint(vec![0.0, 1.0, -1.0], Relation::Eq, 0.0);
+        p.add_constraint(vec![1.0, 0.0, 1.0], Relation::Ge, 2.5);
+        p.set_integer(0, true);
+        let text = to_lp_string(&p);
+        assert!(text.starts_with("Maximize\n obj: 1.5 x0 - 2 x1\n"));
+        assert!(text.contains("c0: 1 x0 + 2 x1 <= 10"));
+        assert!(text.contains("c1: 1 x1 - 1 x2 = 0"));
+        assert!(text.contains("c2: 1 x0 + 1 x2 >= 2.5"));
+        assert!(text.contains("General\n x0\n"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn minimize_header() {
+        let p = Problem::minimize(vec![1.0]);
+        assert!(to_lp_string(&p).starts_with("Minimize"));
+    }
+
+    #[test]
+    fn zero_objective_still_valid() {
+        let mut p = Problem::maximize(vec![0.0, 0.0]);
+        p.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0);
+        let text = to_lp_string(&p);
+        assert!(text.contains("obj: 0 x0"));
+    }
+
+    #[test]
+    fn continuous_problem_has_no_general_section() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_constraint(vec![1.0], Relation::Le, 1.0);
+        assert!(!to_lp_string(&p).contains("General"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Parser for the subset of the CPLEX LP format that
+//! [`crate::export::to_lp_string`] emits — objective, linear
+//! constraints, `General` integrality section.
+//!
+//! Exists primarily so formulations can be round-tripped in tests and
+//! loaded back from files captured during debugging sessions.
+
+use crate::problem::{Problem, Relation, Sense};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_lp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLpError {
+    /// 1-based line number where parsing failed, when known.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseLpError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseLpError {
+    ParseLpError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Objective,
+    Constraints,
+    General,
+    End,
+}
+
+/// Parses an LP document produced by [`crate::export::to_lp_string`]
+/// (variables named `x<idx>`).
+///
+/// # Errors
+///
+/// [`ParseLpError`] describing the offending line.
+///
+/// # Example
+///
+/// ```
+/// use gcs_milp::parse::parse_lp;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_lp("Maximize\n obj: 2 x0 + 3 x1\nSubject To\n c0: 1 x0 + 1 x1 <= 4\nEnd\n")?;
+/// let sol = p.solve()?;
+/// assert!((sol.objective - 12.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_lp(text: &str) -> Result<Problem, ParseLpError> {
+    let mut sense = None;
+    let mut section = None;
+    let mut objective: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut constraints: Vec<(BTreeMap<usize, f64>, Relation, f64)> = Vec::new();
+    let mut integers: Vec<usize> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.to_ascii_lowercase().as_str() {
+            "maximize" => {
+                sense = Some(Sense::Maximize);
+                section = Some(Section::Objective);
+                continue;
+            }
+            "minimize" => {
+                sense = Some(Sense::Minimize);
+                section = Some(Section::Objective);
+                continue;
+            }
+            "subject to" | "st" | "s.t." => {
+                section = Some(Section::Constraints);
+                continue;
+            }
+            "general" | "generals" | "integer" => {
+                section = Some(Section::General);
+                continue;
+            }
+            "end" => {
+                section = Some(Section::End);
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Some(Section::Objective) => {
+                let body = strip_label(line);
+                objective = parse_linear(body, lineno)?;
+            }
+            Some(Section::Constraints) => {
+                let body = strip_label(line);
+                let (rel_pos, rel, rel_len) = find_relation(body)
+                    .ok_or_else(|| err(lineno, "constraint has no <=, = or >="))?;
+                let lhs = parse_linear(&body[..rel_pos], lineno)?;
+                let rhs: f64 = body[rel_pos + rel_len..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad right-hand side"))?;
+                constraints.push((lhs, rel, rhs));
+            }
+            Some(Section::General) => {
+                for tok in line.split_whitespace() {
+                    integers.push(parse_var(tok, lineno)?);
+                }
+            }
+            Some(Section::End) => {
+                return Err(err(lineno, "content after End"));
+            }
+            None => return Err(err(lineno, "expected Maximize or Minimize header")),
+        }
+    }
+
+    let sense = sense.ok_or_else(|| err(1, "missing Maximize/Minimize header"))?;
+    let num_vars = objective
+        .keys()
+        .chain(constraints.iter().flat_map(|(l, _, _)| l.keys()))
+        .chain(integers.iter())
+        .max()
+        .map_or(0, |&m| m + 1);
+    if num_vars == 0 {
+        return Err(err(1, "no variables found"));
+    }
+
+    let dense = |m: &BTreeMap<usize, f64>| -> Vec<f64> {
+        let mut v = vec![0.0; num_vars];
+        for (&i, &c) in m {
+            v[i] = c;
+        }
+        v
+    };
+    let mut p = match sense {
+        Sense::Maximize => Problem::maximize(dense(&objective)),
+        Sense::Minimize => Problem::minimize(dense(&objective)),
+    };
+    for (lhs, rel, rhs) in &constraints {
+        p.add_constraint(dense(lhs), *rel, *rhs);
+    }
+    for &i in &integers {
+        p.set_integer(i, true);
+    }
+    Ok(p)
+}
+
+/// Strips a leading `name:` label if present.
+fn strip_label(line: &str) -> &str {
+    match line.find(':') {
+        Some(pos) => line[pos + 1..].trim(),
+        None => line,
+    }
+}
+
+fn find_relation(body: &str) -> Option<(usize, Relation, usize)> {
+    if let Some(p) = body.find("<=") {
+        return Some((p, Relation::Le, 2));
+    }
+    if let Some(p) = body.find(">=") {
+        return Some((p, Relation::Ge, 2));
+    }
+    body.find('=').map(|p| (p, Relation::Eq, 1))
+}
+
+fn parse_var(tok: &str, lineno: usize) -> Result<usize, ParseLpError> {
+    tok.strip_prefix('x')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(lineno, format!("bad variable name `{tok}`")))
+}
+
+/// Parses `a x0 + b x1 - c x2 ...` into a sparse coefficient map.
+fn parse_linear(body: &str, lineno: usize) -> Result<BTreeMap<usize, f64>, ParseLpError> {
+    let mut out = BTreeMap::new();
+    let mut sign = 1.0;
+    let mut pending_coeff: Option<f64> = None;
+    for tok in body.split_whitespace() {
+        match tok {
+            "+" => sign = 1.0,
+            "-" => sign = -1.0,
+            _ if tok.starts_with('x') => {
+                let var = parse_var(tok, lineno)?;
+                let coeff = pending_coeff.take().unwrap_or(1.0) * sign;
+                *out.entry(var).or_insert(0.0) += coeff;
+                sign = 1.0;
+            }
+            _ => {
+                let c: f64 = tok
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad coefficient `{tok}`")))?;
+                if pending_coeff.replace(c).is_some() {
+                    return Err(err(lineno, "two consecutive coefficients"));
+                }
+            }
+        }
+    }
+    if pending_coeff.is_some() {
+        return Err(err(lineno, "trailing coefficient without a variable"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_lp_string;
+    use crate::Relation as R;
+
+    #[test]
+    fn round_trip_preserves_solutions() {
+        let mut p = Problem::maximize(vec![3.0, 2.0, 0.5]);
+        p.add_constraint(vec![1.0, 1.0, 0.0], R::Le, 4.0);
+        p.add_constraint(vec![1.0, 3.0, -1.0], R::Ge, 1.0);
+        p.add_constraint(vec![0.0, 1.0, 1.0], R::Eq, 2.0);
+        p.set_integer(1, true);
+        let text = to_lp_string(&p);
+        let q = parse_lp(&text).expect("parses");
+        let a = p.solve().expect("original solves");
+        let b = q.solve().expect("round-tripped solves");
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_hand_written_document() {
+        let p = parse_lp(
+            "Minimize\n obj: 1 x0 + 2 x1\nSubject To\n c0: 1 x0 + 1 x1 >= 3\nGeneral\n x0 x1\nEnd\n",
+        )
+        .expect("parses");
+        let sol = p.solve().expect("solves");
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+        assert_eq!(sol.rounded(), vec![3, 0]);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(parse_lp("Subject To\n c0: 1 x0 <= 1\nEnd\n").is_err());
+    }
+
+    #[test]
+    fn bad_tokens_reported_with_line() {
+        let e = parse_lp("Maximize\n obj: zz x0\nEnd\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn implicit_unit_coefficients() {
+        let p = parse_lp("Maximize\n obj: x0 + x1\nSubject To\n c0: x0 + x1 <= 2\nEnd\n")
+            .expect("parses");
+        let sol = p.solve().expect("solves");
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn content_after_end_rejected() {
+        assert!(parse_lp("Maximize\n obj: x0\nEnd\n junk\n").is_err());
+    }
+}

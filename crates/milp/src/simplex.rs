@@ -1,0 +1,462 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver works on the standard form
+//!
+//! ```text
+//! maximize  c · x
+//! s.t.      A x {≤,=,≥} b,   x ≥ 0
+//! ```
+//!
+//! Rows are normalized to non-negative right-hand sides, then slack,
+//! surplus and artificial columns are appended. Phase 1 drives the
+//! artificials to zero (or proves infeasibility); phase 2 optimizes the
+//! real objective. Pivoting uses Dantzig's rule with a Bland's-rule
+//! fallback after a fixed number of degenerate iterations, which
+//! guarantees termination on cycling-prone instances.
+
+use crate::problem::{Constraint, Relation};
+use crate::EPS;
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// Raw result of the simplex routine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Outcome of the solve.
+    pub status: LpStatus,
+    /// Values of the original decision variables (empty unless optimal).
+    pub values: Vec<f64>,
+    /// Objective value (0 unless optimal).
+    pub objective: f64,
+}
+
+impl LpSolution {
+    fn infeasible() -> Self {
+        LpSolution {
+            status: LpStatus::Infeasible,
+            values: Vec::new(),
+            objective: 0.0,
+        }
+    }
+
+    fn unbounded() -> Self {
+        LpSolution {
+            status: LpStatus::Unbounded,
+            values: Vec::new(),
+            objective: 0.0,
+        }
+    }
+}
+
+/// Dense simplex tableau with explicit basis bookkeeping.
+struct Tableau {
+    /// `m x (total_cols + 1)` coefficient matrix; last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `total_cols + 1`.
+    obj: Vec<f64>,
+    /// Basis: `basis[r]` is the column index basic in row `r`.
+    basis: Vec<usize>,
+    /// Number of structural (original) variables.
+    n: usize,
+    /// Total number of columns excluding RHS.
+    total: usize,
+    /// Column index where artificial variables begin.
+    art_start: usize,
+}
+
+/// Maximizes `objective · x` subject to `constraints` and `x ≥ 0`.
+pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution {
+    let n = objective.len();
+    let m = constraints.len();
+
+    // Count auxiliary columns. Every row gets either a slack (Le), a
+    // surplus+artificial (Ge) or an artificial (Eq) after RHS
+    // normalization.
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    let mut norm: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+    for c in constraints {
+        let mut coeffs = c.coeffs.clone();
+        let mut rel = c.rel;
+        let mut rhs = c.rhs;
+        if rhs < 0.0 {
+            for v in &mut coeffs {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        match rel {
+            Relation::Le => num_slack += 1,
+            Relation::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Relation::Eq => num_art += 1,
+        }
+        norm.push((coeffs, rel, rhs));
+    }
+
+    let art_start = n + num_slack;
+    let total = art_start + num_art;
+
+    let mut rows = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = art_start;
+
+    for (r, (coeffs, rel, rhs)) in norm.iter().enumerate() {
+        rows[r][..n].copy_from_slice(coeffs);
+        rows[r][total] = *rhs;
+        match rel {
+            Relation::Le => {
+                rows[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                rows[r][slack_idx] = -1.0; // surplus
+                slack_idx += 1;
+                rows[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                rows[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        rows,
+        obj: vec![0.0; total + 1],
+        basis,
+        n,
+        total,
+        art_start,
+    };
+
+    // Phase 1: maximize -(sum of artificials), i.e. reduced costs start as
+    // the negated sum of rows that have a basic artificial.
+    if num_art > 0 {
+        for col in art_start..total {
+            t.obj[col] = -1.0;
+        }
+        // Price out basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                let row = t.rows[r].clone();
+                for (o, v) in t.obj.iter_mut().zip(row.iter()) {
+                    *o += *v;
+                }
+            }
+        }
+        match t.run() {
+            PivotOutcome::Optimal => {}
+            PivotOutcome::Unbounded => {
+                // Phase-1 objective is bounded above by 0; reaching here
+                // indicates numerical trouble. Treat as infeasible.
+                return LpSolution::infeasible();
+            }
+        }
+        // The objective-row RHS cell tracks -(phase-1 objective), i.e. the
+        // current sum of artificial variables. Feasible iff it reached zero.
+        if t.obj[t.total] > 1e-7 {
+            return LpSolution::infeasible();
+        }
+        // Pivot any artificial still basic (at zero) out of the basis to
+        // keep phase 2 clean; if its row is all zeros over structural and
+        // slack columns, the row is redundant and can stay.
+        for r in 0..m {
+            if t.basis[r] >= t.art_start {
+                let pivot_col = (0..t.art_start).find(|&c| t.rows[r][c].abs() > EPS);
+                if let Some(c) = pivot_col {
+                    t.pivot(r, c);
+                }
+            }
+        }
+    }
+
+    // Phase 2: install the real objective, expressed in terms of the
+    // current basis. Artificial columns are frozen out by making their
+    // reduced costs prohibitively negative.
+    let mut obj = vec![0.0; total + 1];
+    obj[..n].copy_from_slice(objective);
+    // Price out the basic variables: reduced_cost = c - c_B * B^-1 A.
+    // The tableau rows already hold B^-1 A, so subtract c_B[r] * row_r.
+    let mut z = vec![0.0; total + 1];
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = if b < n { objective[b] } else { 0.0 };
+        if cb != 0.0 {
+            for (zv, rv) in z.iter_mut().zip(t.rows[r].iter()) {
+                *zv += cb * rv;
+            }
+        }
+    }
+    // Reduced costs c - c_B B⁻¹A; the RHS cell becomes -(objective value).
+    for i in 0..=total {
+        obj[i] -= z[i];
+    }
+    t.obj = obj;
+    // Never re-enter artificial columns.
+    for col in t.art_start..t.total {
+        t.obj[col] = f64::NEG_INFINITY;
+    }
+
+    match t.run() {
+        PivotOutcome::Optimal => {}
+        PivotOutcome::Unbounded => return LpSolution::unbounded(),
+    }
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            values[t.basis[r]] = t.rows[r][t.total];
+        }
+    }
+    // Clamp tiny negative noise.
+    for v in &mut values {
+        if *v < 0.0 && *v > -1e-7 {
+            *v = 0.0;
+        }
+    }
+    let objective_value: f64 = objective.iter().zip(&values).map(|(c, x)| c * x).sum();
+    LpSolution {
+        status: LpStatus::Optimal,
+        values,
+        objective: objective_value,
+    }
+}
+
+enum PivotOutcome {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    /// Runs simplex iterations until optimality or unboundedness.
+    fn run(&mut self) -> PivotOutcome {
+        let mut degenerate_streak = 0usize;
+        // Generous safety bound: the number of bases is finite and Bland's
+        // rule prevents cycling, but cap iterations defensively.
+        let max_iters = 50_000 + 200 * (self.total + 1) * (self.rows.len() + 1);
+        for _ in 0..max_iters {
+            let use_bland = degenerate_streak > 64;
+            let Some(col) = self.entering_column(use_bland) else {
+                return PivotOutcome::Optimal;
+            };
+            let Some(row) = self.leaving_row(col, use_bland) else {
+                return PivotOutcome::Unbounded;
+            };
+            let before_rhs = self.obj[self.total];
+            self.pivot(row, col);
+            if (self.obj[self.total] - before_rhs).abs() <= EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+        }
+        // Iteration budget exceeded: report the current point as optimal;
+        // callers re-verify feasibility where it matters. This path is not
+        // expected to be reachable with Bland's rule engaged.
+        PivotOutcome::Optimal
+    }
+
+    /// Chooses the entering column: most positive reduced cost (Dantzig),
+    /// or smallest index with positive reduced cost (Bland).
+    fn entering_column(&self, bland: bool) -> Option<usize> {
+        if bland {
+            (0..self.total).find(|&c| self.obj[c] > EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = EPS;
+            for c in 0..self.total {
+                if self.obj[c] > best_val {
+                    best_val = self.obj[c];
+                    best = Some(c);
+                }
+            }
+            best
+        }
+    }
+
+    /// Minimum ratio test; Bland tie-break on basis index when requested.
+    fn leaving_row(&self, col: usize, bland: bool) -> Option<usize> {
+        let rhs_col = self.total;
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.rows.len() {
+            let a = self.rows[r][col];
+            if a > EPS {
+                let ratio = self.rows[r][rhs_col] / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        let better = ratio < bratio - EPS
+                            || ((ratio - bratio).abs() <= EPS
+                                && if bland {
+                                    self.basis[r] < self.basis[br]
+                                } else {
+                                    r < br
+                                });
+                        if better {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / p;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, other) in self.rows.iter_mut().enumerate() {
+            if r != row {
+                let factor = other[col];
+                if factor != 0.0 {
+                    for (o, pv) in other.iter_mut().zip(pivot_row.iter()) {
+                        *o -= factor * pv;
+                    }
+                    other[col] = 0.0; // kill numerical residue exactly
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor != 0.0 && factor.is_finite() {
+            for (o, pv) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                if o.is_finite() {
+                    *o -= factor * pv;
+                }
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+        let _ = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Constraint, Relation};
+
+    fn c(coeffs: &[f64], rel: Relation, rhs: f64) -> Constraint {
+        Constraint::new(coeffs.to_vec(), rel, rhs)
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x+5y; x<=4; 2y<=12; 3x+2y<=18 -> 36 at (2,6)
+        let sol = solve(
+            &[3.0, 5.0],
+            &[
+                c(&[1.0, 0.0], Relation::Le, 4.0),
+                c(&[0.0, 2.0], Relation::Le, 12.0),
+                c(&[3.0, 2.0], Relation::Le, 18.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // max -x - y (i.e. min x+y) s.t. x + 2y >= 4, 3x + y >= 6
+        // optimum of min at intersection: x = 8/5, y = 6/5 -> x+y = 14/5
+        let sol = solve(
+            &[-1.0, -1.0],
+            &[
+                c(&[1.0, 2.0], Relation::Ge, 4.0),
+                c(&[3.0, 1.0], Relation::Ge, 6.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 14.0 / 5.0).abs() < 1e-6, "{}", sol.objective);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x <= 5 written as -x >= -5.
+        let sol = solve(&[1.0], &[c(&[-1.0], Relation::Ge, -5.0)]);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_system() {
+        let sol = solve(
+            &[1.0],
+            &[
+                c(&[1.0], Relation::Le, 1.0),
+                c(&[1.0], Relation::Ge, 3.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_direction() {
+        let sol = solve(&[1.0], &[c(&[0.0], Relation::Le, 1.0)]);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // max x + y s.t. x + y = 3, x - y = 1 -> (2,1), obj 3
+        let sol = solve(
+            &[1.0, 1.0],
+            &[
+                c(&[1.0, 1.0], Relation::Eq, 3.0),
+                c(&[1.0, -1.0], Relation::Eq, 1.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 twice: redundant but consistent.
+        let sol = solve(
+            &[1.0, 0.0],
+            &[
+                c(&[1.0, 1.0], Relation::Eq, 2.0),
+                c(&[1.0, 1.0], Relation::Eq, 2.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let sol = solve(&[0.0, 0.0], &[c(&[1.0, 1.0], Relation::Le, 1.0)]);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, 0.0);
+    }
+}

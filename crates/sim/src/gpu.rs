@@ -1,0 +1,655 @@
+//! The device: SMs + shared memory system + block dispatch + spatial
+//! partitioning with drain-based SM migration.
+//!
+//! This is the simulator's public entry point. A typical single-app run:
+//!
+//! ```
+//! use gcs_sim::config::GpuConfig;
+//! use gcs_sim::gpu::Gpu;
+//! use gcs_sim::kernel::{AccessPattern, KernelDesc, Op, PatternId};
+//!
+//! # fn main() -> Result<(), gcs_sim::gpu::SimError> {
+//! let mut gpu = Gpu::new(GpuConfig::test_small())?;
+//! let app = gpu.launch(KernelDesc {
+//!     name: "demo".into(),
+//!     grid_blocks: 8,
+//!     warps_per_block: 2,
+//!     iters_per_warp: 16,
+//!     body: vec![Op::Alu { latency: 4 }, Op::Load(PatternId(0))],
+//!     patterns: vec![AccessPattern::streaming(1 << 20)],
+//!     active_lanes: 32,
+//! })?;
+//! gpu.partition_even();
+//! gpu.run(1_000_000)?;
+//! assert!(gpu.stats().app(app).finished());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::config::GpuConfig;
+use crate::kernel::{AppId, KernelDesc};
+use crate::memsys::{Completion, MemSys};
+use crate::sm::Sm;
+use crate::stats::SimStats;
+use crate::warp::check_pattern_limit;
+
+/// Maximum concurrently launched applications.
+pub const MAX_APPS: usize = 8;
+
+/// Errors from device construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The device configuration is inconsistent.
+    InvalidConfig(String),
+    /// A launched kernel failed validation.
+    InvalidKernel(String),
+    /// `run` exceeded its cycle budget.
+    Timeout {
+        /// Cycle at which the budget ran out.
+        cycle: u64,
+    },
+    /// No warp can ever make progress again (e.g. every SM is idle and
+    /// unowned while blocks remain).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// Application slot limit reached.
+    TooManyApps,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SimError::InvalidKernel(why) => write!(f, "invalid kernel: {why}"),
+            SimError::Timeout { cycle } => write!(f, "cycle budget exhausted at cycle {cycle}"),
+            SimError::Deadlock { cycle } => write!(f, "no runnable work at cycle {cycle}"),
+            SimError::TooManyApps => write!(f, "application slot limit reached"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[derive(Debug)]
+struct AppRuntime {
+    kernel: KernelDesc,
+    next_block: u32,
+    blocks_done: u32,
+    started: bool,
+    finished: bool,
+}
+
+/// The simulated device.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    memsys: MemSys,
+    apps: Vec<AppRuntime>,
+    stats: SimStats,
+    cycle: u64,
+    comp_buf: Vec<Completion>,
+}
+
+impl Gpu {
+    /// Builds an idle device.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `cfg` fails validation.
+    pub fn new(cfg: GpuConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
+        let memsys = MemSys::new(&cfg);
+        Ok(Gpu {
+            sms,
+            memsys,
+            apps: Vec::new(),
+            stats: SimStats::new(MAX_APPS),
+            cycle: 0,
+            comp_buf: Vec::with_capacity(64),
+            cfg,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Registers an application. SMs must then be assigned via
+    /// [`Gpu::partition_even`], [`Gpu::partition_counts`] or
+    /// [`Gpu::assign_sms`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidKernel`] for malformed kernels and
+    /// [`SimError::TooManyApps`] beyond [`MAX_APPS`] slots.
+    pub fn launch(&mut self, kernel: KernelDesc) -> Result<AppId, SimError> {
+        kernel.validate().map_err(SimError::InvalidKernel)?;
+        check_pattern_limit(&kernel).map_err(SimError::InvalidKernel)?;
+        if kernel.warps_per_block > self.cfg.max_warps_per_sm {
+            return Err(SimError::InvalidKernel(format!(
+                "kernel {} needs {} warps per block but SMs host at most {}",
+                kernel.name, kernel.warps_per_block, self.cfg.max_warps_per_sm
+            )));
+        }
+        if self.apps.len() >= MAX_APPS {
+            return Err(SimError::TooManyApps);
+        }
+        let id = AppId(self.apps.len() as u16);
+        self.apps.push(AppRuntime {
+            kernel,
+            next_block: 0,
+            blocks_done: 0,
+            started: false,
+            finished: false,
+        });
+        Ok(id)
+    }
+
+    /// Number of launched applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether `app` has retired all of its blocks.
+    pub fn app_finished(&self, app: AppId) -> bool {
+        self.apps[usize::from(app.0)].finished
+    }
+
+    /// All launched applications finished.
+    pub fn all_done(&self) -> bool {
+        !self.apps.is_empty() && self.apps.iter().all(|a| a.finished)
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Assigns the given SMs to `app` (drain-based when occupied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an SM id is out of range or `app` was never launched.
+    pub fn assign_sms(&mut self, app: AppId, sm_ids: &[u32]) {
+        assert!(usize::from(app.0) < self.apps.len(), "unknown app");
+        for &id in sm_ids {
+            self.sms[id as usize].request_handoff(Some(app));
+        }
+    }
+
+    /// Splits all SMs as evenly as possible across the launched apps, in
+    /// launch order (the thesis' initial equal-share policy).
+    pub fn partition_even(&mut self) {
+        let n = self.apps.len().max(1);
+        let per = self.sms.len() / n;
+        let mut extra = self.sms.len() % n;
+        let mut next = 0usize;
+        for a in 0..n {
+            let take = per + usize::from(extra > 0);
+            extra = extra.saturating_sub(1);
+            for _ in 0..take {
+                self.sms[next].request_handoff(Some(AppId(a as u16)));
+                next += 1;
+            }
+        }
+    }
+
+    /// Partitions by explicit per-app SM counts (`counts[i]` SMs to app
+    /// `i`, assigned low-to-high); remaining SMs become unowned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts sum to more SMs than exist or `counts` is longer
+    /// than the launched app list.
+    pub fn partition_counts(&mut self, counts: &[u32]) {
+        assert!(counts.len() <= self.apps.len(), "counts for unlaunched apps");
+        let total: u32 = counts.iter().sum();
+        assert!(
+            total as usize <= self.sms.len(),
+            "partition wants {total} SMs but device has {}",
+            self.sms.len()
+        );
+        let mut next = 0usize;
+        for (a, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                self.sms[next].request_handoff(Some(AppId(a as u16)));
+                next += 1;
+            }
+        }
+        for sm in &mut self.sms[next..] {
+            sm.request_handoff(None);
+        }
+    }
+
+    /// Effective SM count for `app`: SMs it owns and is not losing, plus
+    /// SMs draining toward it.
+    pub fn sm_count(&self, app: AppId) -> u32 {
+        self.sms
+            .iter()
+            .filter(|sm| match sm.pending_owner {
+                Some(p) => p == app,
+                None => sm.owner == Some(app),
+            })
+            .count() as u32
+    }
+
+    /// Moves up to `n` SMs from `from` to `to` using drain-based
+    /// handoffs; returns how many transfers were initiated.
+    pub fn transfer_sms(&mut self, from: AppId, to: AppId, n: u32) -> u32 {
+        let mut moved = 0;
+        for sm in &mut self.sms {
+            if moved == n {
+                break;
+            }
+            let effectively_from = match sm.pending_owner {
+                Some(p) => p == from,
+                None => sm.owner == Some(from),
+            };
+            if effectively_from {
+                sm.request_handoff(Some(to));
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Advances the device one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. Deliver memory responses; they may retire warps and blocks.
+        self.comp_buf.clear();
+        self.memsys.drain_completions(now, &mut self.comp_buf);
+        for i in 0..self.comp_buf.len() {
+            let c = self.comp_buf[i];
+            let sm = &mut self.sms[c.sm as usize];
+            let retired = sm.on_mem_response(c.warp_slot);
+            if retired > 0 {
+                let owner = sm.owner.expect("retiring SM has an owner");
+                self.apps[usize::from(owner.0)].blocks_done += retired;
+            }
+        }
+
+        // 2. Memory system.
+        self.memsys.tick(now, &mut self.stats);
+
+        // 3. SM issue + block dispatch. The iteration order rotates each
+        // cycle: with a fixed order, low-numbered SMs would enqueue
+        // their memory requests first every cycle and systematically
+        // win FIFO admission into the shared slices — an unfairness
+        // artifact, not a modeled mechanism.
+        let n_sms = self.sms.len();
+        for k in 0..n_sms {
+            let sm = &mut self.sms[(k + now as usize) % n_sms];
+            sm.wake(now);
+            let Some(owner) = sm.owner else { continue };
+            let app = &mut self.apps[usize::from(owner.0)];
+
+            if sm.has_ready_work() {
+                let retired = sm.issue(
+                    now,
+                    &app.kernel,
+                    owner,
+                    app_base(owner),
+                    &self.cfg,
+                    &mut self.memsys,
+                    &mut self.stats,
+                );
+                app.blocks_done += retired;
+            }
+
+            // Dispatch at most one block per SM per cycle.
+            if app.next_block < app.kernel.grid_blocks
+                && sm.pending_owner.is_none()
+                && sm.can_take_block(&app.kernel, &self.cfg)
+            {
+                sm.dispatch_block(&app.kernel, app.next_block);
+                app.next_block += 1;
+                if !app.started {
+                    app.started = true;
+                    self.stats.app_mut(owner).start_cycle = now;
+                }
+            }
+        }
+
+        // 4. Complete drained handoffs.
+        for sm in &mut self.sms {
+            sm.try_complete_handoff();
+        }
+
+        // 5. Detect app completion.
+        for a in 0..self.apps.len() {
+            let app = &mut self.apps[a];
+            if !app.finished && app.started && app.blocks_done == app.kernel.grid_blocks {
+                app.finished = true;
+                let id = AppId(a as u16);
+                self.stats.app_mut(id).finish_cycle = now;
+                self.stats.app_mut(id).blocks_done = app.blocks_done;
+                if self.cfg.reassign_on_finish {
+                    self.reassign_sms_of(id);
+                }
+            }
+        }
+
+        self.cycle = now + 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Hands the SMs of a finished app to the running apps, balancing
+    /// toward the app with the fewest effective SMs.
+    fn reassign_sms_of(&mut self, finished: AppId) {
+        let running: Vec<AppId> = (0..self.apps.len())
+            .filter(|&i| !self.apps[i].finished)
+            .map(|i| AppId(i as u16))
+            .collect();
+        if running.is_empty() {
+            return;
+        }
+        let mut counts: Vec<(AppId, u32)> =
+            running.iter().map(|&a| (a, self.sm_count(a))).collect();
+        for sm in &mut self.sms {
+            let effectively_finished = match sm.pending_owner {
+                Some(p) => p == finished,
+                None => sm.owner == Some(finished),
+            };
+            if effectively_finished {
+                let (target, cnt) = counts
+                    .iter_mut()
+                    .min_by_key(|(_, c)| *c)
+                    .expect("running is non-empty");
+                sm.request_handoff(Some(*target));
+                let _ = target;
+                *cnt += 1;
+            }
+        }
+    }
+
+    /// Runs until every launched application finishes.
+    ///
+    /// Idle stretches (all warps asleep, memory system quiescent) are
+    /// fast-forwarded, which matters for compute-heavy kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] past `max_cycles`; [`SimError::Deadlock`]
+    /// when nothing can ever run again.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        if self.apps.is_empty() {
+            return Ok(());
+        }
+        while !self.all_done() {
+            if self.cycle >= max_cycles {
+                return Err(SimError::Timeout { cycle: self.cycle });
+            }
+            self.step();
+
+            // Fast-forward pure sleep phases.
+            if self.memsys.is_idle() && !self.all_done() {
+                let any_ready = self.sms.iter().any(|sm| sm.has_ready_work());
+                if !any_ready {
+                    let can_dispatch = self.dispatch_possible();
+                    if !can_dispatch {
+                        match self.sms.iter().filter_map(|sm| sm.next_wake()).min() {
+                            Some(wake) if wake > self.cycle => {
+                                self.cycle = wake;
+                                self.stats.cycles = wake;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(SimError::Deadlock { cycle: self.cycle });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs for exactly `cycles` more cycles (or until everything
+    /// finishes, whichever comes first). Used by controllers that sample
+    /// the device periodically (SMRA's `T_C` window).
+    pub fn run_for(&mut self, cycles: u64) {
+        let end = self.cycle + cycles;
+        while self.cycle < end && !self.all_done() {
+            self.step();
+        }
+    }
+
+    /// True if some undispatched block could be placed this cycle.
+    fn dispatch_possible(&self) -> bool {
+        self.sms.iter().any(|sm| {
+            sm.owner.is_some_and(|o| {
+                let app = &self.apps[usize::from(o.0)];
+                app.next_block < app.kernel.grid_blocks
+                    && sm.pending_owner.is_none()
+                    && sm.can_take_block(&app.kernel, &self.cfg)
+            })
+        })
+    }
+
+    /// Diagnostic: aggregate L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.memsys.l2_hit_rate()
+    }
+}
+
+/// Base address for an app's address space (prevents cross-app cache
+/// aliasing).
+fn app_base(app: AppId) -> u64 {
+    (u64::from(app.0) + 1) << 44
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AccessPattern, Op, PatternId};
+
+    fn alu_kernel(name: &str, blocks: u32) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            grid_blocks: blocks,
+            warps_per_block: 2,
+            iters_per_warp: 20,
+            body: vec![Op::Alu { latency: 4 }],
+            patterns: vec![],
+            active_lanes: 32,
+        }
+    }
+
+    fn mem_kernel(name: &str, blocks: u32, ws: u64) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            grid_blocks: blocks,
+            warps_per_block: 2,
+            iters_per_warp: 20,
+            body: vec![Op::Load(PatternId(0)), Op::Alu { latency: 4 }],
+            patterns: vec![AccessPattern::streaming(ws)],
+            active_lanes: 32,
+        }
+    }
+
+    #[test]
+    fn single_app_runs_to_completion() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let app = gpu.launch(alu_kernel("a", 16)).unwrap();
+        gpu.partition_even();
+        gpu.run(1_000_000).unwrap();
+        let s = gpu.stats().app(app);
+        assert!(s.finished());
+        assert_eq!(
+            s.thread_insts,
+            16 * 2 * 20 * 32,
+            "every thread instruction accounted"
+        );
+        assert!(s.runtime_cycles() > 0);
+    }
+
+    #[test]
+    fn two_apps_share_the_device() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(mem_kernel("a", 8, 1 << 22)).unwrap();
+        let b = gpu.launch(alu_kernel("b", 8)).unwrap();
+        gpu.partition_even();
+        assert_eq!(gpu.sm_count(a), 4);
+        assert_eq!(gpu.sm_count(b), 4);
+        gpu.run(2_000_000).unwrap();
+        assert!(gpu.stats().app(a).finished());
+        assert!(gpu.stats().app(b).finished());
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        gpu.launch(mem_kernel("a", 64, 1 << 22)).unwrap();
+        gpu.partition_even();
+        assert!(matches!(gpu.run(10), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn deadlock_detected_without_sms() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        gpu.launch(alu_kernel("a", 4)).unwrap();
+        // No partition: no SM ever owns the app.
+        assert!(matches!(
+            gpu.run(1_000_000),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let k = KernelDesc {
+            warps_per_block: 1000,
+            ..alu_kernel("big", 1)
+        };
+        assert!(matches!(gpu.launch(k), Err(SimError::InvalidKernel(_))));
+    }
+
+    #[test]
+    fn transfer_sms_drains() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(mem_kernel("a", 32, 1 << 22)).unwrap();
+        let b = gpu.launch(mem_kernel("b", 32, 1 << 22)).unwrap();
+        gpu.partition_even();
+        gpu.run_for(200);
+        let moved = gpu.transfer_sms(a, b, 2);
+        assert_eq!(moved, 2);
+        assert_eq!(gpu.sm_count(a), 2);
+        assert_eq!(gpu.sm_count(b), 6);
+        gpu.run(4_000_000).unwrap();
+        assert!(gpu.all_done());
+    }
+
+    #[test]
+    fn more_sms_means_faster_for_parallel_app() {
+        let run_with = |sms: u32| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            let app = gpu.launch(alu_kernel("a", 64)).unwrap();
+            let ids: Vec<u32> = (0..sms).collect();
+            gpu.assign_sms(app, &ids);
+            gpu.run(10_000_000).unwrap();
+            gpu.stats().app(app).runtime_cycles()
+        };
+        let slow = run_with(1);
+        let fast = run_with(8);
+        assert!(
+            fast * 3 < slow,
+            "8 SMs should be much faster: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn finished_apps_donate_sms() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(alu_kernel("short", 4)).unwrap();
+        let b = gpu.launch(mem_kernel("long", 64, 1 << 22)).unwrap();
+        gpu.partition_even();
+        gpu.run(10_000_000).unwrap();
+        assert!(gpu.app_finished(a) && gpu.app_finished(b));
+        // After `a` finished its SMs must flow to `b`.
+        assert_eq!(gpu.sm_count(b), 8);
+    }
+
+    #[test]
+    fn three_way_even_partition() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(alu_kernel("a", 4)).unwrap();
+        let b = gpu.launch(alu_kernel("b", 4)).unwrap();
+        let c = gpu.launch(alu_kernel("c", 4)).unwrap();
+        gpu.partition_even();
+        // 8 SMs across 3 apps: 3/3/2 with the remainder to the earliest.
+        assert_eq!(gpu.sm_count(a), 3);
+        assert_eq!(gpu.sm_count(b), 3);
+        assert_eq!(gpu.sm_count(c), 2);
+        gpu.run(10_000_000).unwrap();
+        assert!(gpu.all_done());
+    }
+
+    #[test]
+    fn partition_counts_leaves_rest_unowned() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(alu_kernel("a", 2)).unwrap();
+        gpu.partition_counts(&[3]);
+        assert_eq!(gpu.sm_count(a), 3);
+        gpu.run(10_000_000).unwrap();
+        assert!(gpu.app_finished(a));
+    }
+
+    #[test]
+    fn device_throughput_accumulates_across_apps() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(alu_kernel("a", 8)).unwrap();
+        let b = gpu.launch(alu_kernel("b", 8)).unwrap();
+        gpu.partition_even();
+        gpu.run(10_000_000).unwrap();
+        let total = gpu.stats().app(a).thread_insts + gpu.stats().app(b).thread_insts;
+        let thr = gpu.stats().device_throughput();
+        assert!((thr - total as f64 / gpu.cycle() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_for_stops_at_budget() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let k = KernelDesc {
+            iters_per_warp: 100_000,
+            ..alu_kernel("a", 64)
+        };
+        let app = gpu.launch(k).unwrap();
+        gpu.partition_even();
+        gpu.run_for(500);
+        assert_eq!(gpu.cycle(), 500);
+        assert!(!gpu.app_finished(app));
+    }
+
+    #[test]
+    fn launch_limit() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        for i in 0..MAX_APPS {
+            gpu.launch(alu_kernel(&format!("k{i}"), 1)).unwrap();
+        }
+        assert_eq!(
+            gpu.launch(alu_kernel("extra", 1)).unwrap_err(),
+            SimError::TooManyApps
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SimError::Timeout { cycle: 5 }.to_string().contains('5'));
+    }
+}

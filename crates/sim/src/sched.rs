@@ -1,0 +1,166 @@
+//! Warp scheduling policies.
+//!
+//! The device issues from a per-SM pool of *ready* warps. Two policies
+//! are provided:
+//!
+//! * [`WarpSchedPolicy::Gto`] — greedy-then-oldest (Rogers et al.,
+//!   MICRO 2012), the policy of Table 4.1: keep issuing from the warp
+//!   that issued last until it stalls, then fall back to the oldest
+//!   ready warp.
+//! * [`WarpSchedPolicy::Lrr`] — loose round-robin, the classic baseline;
+//!   used by the scheduler-ablation bench.
+
+/// Which warp the SM issues from next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WarpSchedPolicy {
+    /// Greedy-then-oldest.
+    #[default]
+    Gto,
+    /// Loose round-robin.
+    Lrr,
+}
+
+/// Per-SM scheduler state: picks among ready warp slots.
+#[derive(Debug, Clone)]
+pub struct WarpScheduler {
+    policy: WarpSchedPolicy,
+    last_issued: Option<usize>,
+    rr_cursor: usize,
+}
+
+impl WarpScheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: WarpSchedPolicy) -> Self {
+        WarpScheduler {
+            policy,
+            last_issued: None,
+            rr_cursor: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> WarpSchedPolicy {
+        self.policy
+    }
+
+    /// Picks the next slot to issue from.
+    ///
+    /// `ready` flags which slots can issue this cycle; `ages[slot]` is a
+    /// monotone dispatch sequence number (smaller = older). Returns
+    /// `None` when no slot is ready.
+    pub fn pick(&mut self, ready: &[bool], ages: &[u64]) -> Option<usize> {
+        debug_assert_eq!(ready.len(), ages.len());
+        let chosen = match self.policy {
+            WarpSchedPolicy::Gto => {
+                // Greedy part: stick with the last issued warp.
+                if let Some(last) = self.last_issued {
+                    if ready.get(last).copied().unwrap_or(false) {
+                        return Some(self.note(last));
+                    }
+                }
+                // Oldest part: smallest age among ready slots.
+                let mut best: Option<usize> = None;
+                for (slot, &r) in ready.iter().enumerate() {
+                    if r {
+                        match best {
+                            None => best = Some(slot),
+                            Some(b) if ages[slot] < ages[b] => best = Some(slot),
+                            _ => {}
+                        }
+                    }
+                }
+                best
+            }
+            WarpSchedPolicy::Lrr => {
+                let n = ready.len();
+                if n == 0 {
+                    return None;
+                }
+                let mut found = None;
+                for off in 0..n {
+                    let slot = (self.rr_cursor + off) % n;
+                    if ready[slot] {
+                        found = Some(slot);
+                        break;
+                    }
+                }
+                if let Some(slot) = found {
+                    self.rr_cursor = (slot + 1) % n;
+                }
+                found
+            }
+        };
+        chosen.map(|s| self.note(s))
+    }
+
+    fn note(&mut self, slot: usize) -> usize {
+        self.last_issued = Some(slot);
+        slot
+    }
+
+    /// Clears greedy/round-robin state (used on SM reassignment).
+    pub fn reset(&mut self) {
+        self.last_issued = None;
+        self.rr_cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gto_sticks_with_last_warp() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
+        let ages = vec![10, 5, 7];
+        // First pick: oldest ready (slot 1, age 5).
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
+        // Greedy: keeps slot 1 while it stays ready.
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
+        // Slot 1 stalls: falls back to oldest ready = slot 2 (age 7).
+        assert_eq!(s.pick(&[true, false, true], &ages), Some(2));
+    }
+
+    #[test]
+    fn gto_none_when_all_stalled() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
+        assert_eq!(s.pick(&[false, false], &[1, 2]), None);
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        let ages = vec![0, 0, 0];
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(0));
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(2));
+        assert_eq!(s.pick(&[true, true, true], &ages), Some(0));
+    }
+
+    #[test]
+    fn lrr_skips_stalled() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        let ages = vec![0, 0, 0];
+        assert_eq!(s.pick(&[true, false, true], &ages), Some(0));
+        assert_eq!(s.pick(&[true, false, true], &ages), Some(2));
+        assert_eq!(s.pick(&[true, false, true], &ages), Some(0));
+    }
+
+    #[test]
+    fn reset_clears_greedy_state() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
+        let ages = vec![2, 1];
+        assert_eq!(s.pick(&[true, true], &ages), Some(1));
+        s.reset();
+        // After reset the greedy memory is gone; picks oldest again.
+        assert_eq!(s.pick(&[true, true], &ages), Some(1));
+    }
+
+    #[test]
+    fn empty_slots() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        assert_eq!(s.pick(&[], &[]), None);
+        let mut g = WarpScheduler::new(WarpSchedPolicy::Gto);
+        assert_eq!(g.pick(&[], &[]), None);
+    }
+}

@@ -1,0 +1,669 @@
+//! Streaming multiprocessor: warp slots, block residency, L1 cache and
+//! the per-cycle issue path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::cache::{Access, Cache};
+use crate::config::GpuConfig;
+use crate::kernel::{AppId, KernelDesc, Op, PatternId};
+use crate::memsys::{MemRequest, MemSys};
+use crate::sched::WarpScheduler;
+use crate::stats::SimStats;
+use crate::warp::{bump_counter, generate_addresses, Warp};
+
+/// A block resident on an SM: its id and how many of its warps are
+/// still alive (drain-based SM migration waits for this to reach zero
+/// for every resident block — §3.2.4's third deallocation method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ResidentBlock {
+    block: u32,
+    warps_left: u32,
+    /// Warp slots currently parked at a block barrier.
+    barrier_waiters: Vec<u32>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// SM index on the device.
+    pub id: u32,
+    /// Application currently owning this SM (`None` = idle).
+    pub owner: Option<AppId>,
+    /// Set while a drain-based handoff is pending.
+    pub pending_owner: Option<AppId>,
+    warps: Vec<Option<Warp>>,
+    ready: Vec<bool>,
+    ages: Vec<u64>,
+    /// Sleeping warps keyed by wake cycle.
+    sleepers: BinaryHeap<Reverse<(u64, u32)>>,
+    blocks: Vec<ResidentBlock>,
+    l1: Cache,
+    sched: WarpScheduler,
+    rng: SmallRng,
+    age_seq: u64,
+    free_slots: u32,
+    /// Scratch buffer for generated addresses (avoids per-issue allocation).
+    addr_buf: Vec<u64>,
+}
+
+impl Sm {
+    /// Creates an idle SM.
+    pub fn new(id: u32, cfg: &GpuConfig) -> Self {
+        let slots = cfg.max_warps_per_sm as usize;
+        Sm {
+            id,
+            owner: None,
+            pending_owner: None,
+            warps: (0..slots).map(|_| None).collect(),
+            ready: vec![false; slots],
+            ages: vec![u64::MAX; slots],
+            sleepers: BinaryHeap::new(),
+            blocks: Vec::with_capacity(cfg.max_blocks_per_sm as usize),
+            l1: Cache::new(cfg.l1),
+            sched: WarpScheduler::new(cfg.sched),
+            rng: SmallRng::seed_from_u64(0x9E37_79B9 ^ u64::from(id)),
+            age_seq: 0,
+            free_slots: cfg.max_warps_per_sm,
+            addr_buf: Vec::with_capacity(32),
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of live warps.
+    pub fn live_warps(&self) -> u32 {
+        self.warps.len() as u32 - self.free_slots
+    }
+
+    /// True when no warp is resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether a new block of `kernel` fits right now.
+    pub fn can_take_block(&self, kernel: &KernelDesc, cfg: &GpuConfig) -> bool {
+        self.pending_owner.is_none()
+            && (self.blocks.len() as u32) < cfg.max_blocks_per_sm
+            && self.free_slots >= kernel.warps_per_block
+    }
+
+    /// Installs block `block_id` of `kernel`, creating its warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit (call [`Sm::can_take_block`]).
+    pub fn dispatch_block(&mut self, kernel: &KernelDesc, block_id: u32) {
+        assert!(
+            self.free_slots >= kernel.warps_per_block,
+            "dispatch without capacity check"
+        );
+        self.blocks.push(ResidentBlock {
+            block: block_id,
+            warps_left: kernel.warps_per_block,
+            barrier_waiters: Vec::new(),
+        });
+        let mut placed = 0;
+        for slot in 0..self.warps.len() {
+            if placed == kernel.warps_per_block {
+                break;
+            }
+            if self.warps[slot].is_none() {
+                let w = Warp::new(block_id, placed, self.age_seq, kernel.iters_per_warp);
+                self.age_seq += 1;
+                self.ages[slot] = w.age;
+                self.warps[slot] = Some(w);
+                self.ready[slot] = true;
+                self.free_slots -= 1;
+                placed += 1;
+            }
+        }
+        debug_assert_eq!(placed, kernel.warps_per_block);
+    }
+
+    /// Handles a returning memory transaction for `slot`. Returns 1 when
+    /// this response retired the warp *and* completed its block.
+    pub fn on_mem_response(&mut self, slot: u32) -> u32 {
+        let slot = slot as usize;
+        if let Some(w) = self.warps[slot].as_mut() {
+            debug_assert!(w.outstanding > 0, "response for warp with no pending loads");
+            w.outstanding -= 1;
+            if w.outstanding == 0 {
+                if w.retiring {
+                    return self.retire(slot);
+                }
+                self.ready[slot] = true;
+            }
+        } else {
+            debug_assert!(false, "response for an empty warp slot");
+        }
+        0
+    }
+
+    /// Wakes sleeping warps due at `now`.
+    pub fn wake(&mut self, now: u64) {
+        while let Some(&Reverse((at, slot))) = self.sleepers.peek() {
+            if at > now {
+                break;
+            }
+            self.sleepers.pop();
+            let slot = slot as usize;
+            if self.warps[slot].is_some() {
+                self.ready[slot] = true;
+            }
+        }
+    }
+
+    /// Cheap check whether `issue` could do anything this cycle.
+    pub fn has_ready_work(&self) -> bool {
+        // `ready` bits are authoritative; sleepers are woken by `wake`.
+        self.ready.iter().any(|&r| r)
+    }
+
+    /// Next wake-up cycle of any sleeping warp, if all are asleep.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.sleepers.peek().map(|&Reverse((at, _))| at)
+    }
+
+    /// Issues up to `cfg.issue_per_sm` instructions. Returns the number
+    /// of retired warps (so the caller can track block/app completion).
+    pub fn issue(
+        &mut self,
+        now: u64,
+        kernel: &KernelDesc,
+        app: AppId,
+        app_base: u64,
+        cfg: &GpuConfig,
+        memsys: &mut MemSys,
+        stats: &mut SimStats,
+    ) -> u32 {
+        let mut retired_blocks = 0;
+        let body_len = kernel.body.len() as u32;
+        let total_warps = kernel.total_warps();
+        let line = u64::from(cfg.l1.line_bytes);
+
+        for _ in 0..cfg.issue_per_sm {
+            let Some(slot) = self.sched.pick(&self.ready, &self.ages) else {
+                break;
+            };
+            let warp = self.warps[slot].as_mut().expect("ready slot has a warp");
+            let op = kernel.body[warp.pc as usize];
+
+            match op {
+                Op::Alu { latency } | Op::Sfu { latency } => {
+                    let s = stats.app_mut(app);
+                    s.warp_insts += 1;
+                    s.thread_insts += u64::from(kernel.active_lanes);
+                    s.alu_insts += 1;
+                    let done = warp.advance(body_len);
+                    self.ready[slot] = false;
+                    if done {
+                        retired_blocks += self.retire(slot);
+                    } else {
+                        self.sleepers
+                            .push(Reverse((now + u64::from(latency), slot as u32)));
+                    }
+                }
+                Op::Load(PatternId(p)) => {
+                    let p = usize::from(p);
+                    let pattern = &kernel.patterns[p];
+                    let global_warp = u64::from(warp.block) * u64::from(kernel.warps_per_block)
+                        + u64::from(warp.warp_in_block);
+                    self.addr_buf.clear();
+                    generate_addresses(
+                        pattern,
+                        p,
+                        app_base,
+                        warp,
+                        global_warp,
+                        total_warps,
+                        line,
+                        &mut self.rng,
+                        &mut self.addr_buf,
+                    );
+
+                    // L1 probe per transaction WITHOUT allocating: a load
+                    // may still be rejected by back-pressure below, and
+                    // allocating now would turn its retry into a phantom
+                    // hit. Misses are compacted to the front of the buffer.
+                    let mut miss_addrs = 0usize;
+                    let mut hits = 0u64;
+                    {
+                        let mut i = 0;
+                        while i < self.addr_buf.len() {
+                            match self.l1.probe(self.addr_buf[i]) {
+                                Access::Hit => {
+                                    hits += 1;
+                                    self.addr_buf.swap_remove(i);
+                                }
+                                Access::Miss => {
+                                    miss_addrs += 1;
+                                    i += 1;
+                                }
+                            }
+                        }
+                    }
+
+                    // Back-pressure: if any miss target cannot accept,
+                    // retry the whole load later (no partial issue).
+                    if miss_addrs > 0 && self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
+                        self.ready[slot] = false;
+                        self.sleepers.push(Reverse((now + 2, slot as u32)));
+                        continue;
+                    }
+                    // The load issues for real: allocate the missing lines
+                    // (allocate-at-issue; responses find the line present).
+                    for &a in &self.addr_buf {
+                        self.l1.fill(a);
+                    }
+
+                    let s = stats.app_mut(app);
+                    s.warp_insts += 1;
+                    s.thread_insts += u64::from(kernel.active_lanes);
+                    s.mem_insts += 1;
+                    s.l1_hits += hits;
+                    s.l1_misses += miss_addrs as u64;
+
+                    bump_counter(warp, p);
+                    let done = warp.advance(body_len);
+                    self.ready[slot] = false;
+                    if miss_addrs == 0 {
+                        // All hits: short fixed latency, or immediate
+                        // retirement when this was the final instruction.
+                        if done {
+                            retired_blocks += self.retire(slot);
+                        } else {
+                            self.sleepers
+                                .push(Reverse((now + u64::from(cfg.l1_hit_lat), slot as u32)));
+                        }
+                    } else {
+                        warp.outstanding = miss_addrs as u16;
+                        // Retirement (if this was the final instruction)
+                        // waits until the last response returns, so the
+                        // slot cannot be recycled under in-flight events.
+                        warp.retiring = done;
+                        for &addr in &self.addr_buf {
+                            memsys.push(MemRequest {
+                                addr,
+                                is_write: false,
+                                app,
+                                sm: self.id,
+                                warp_slot: slot as u32,
+                                arrive_at: now + u64::from(cfg.icnt_lat),
+                            });
+                        }
+                    }
+                }
+                Op::Barrier => {
+                    let s = stats.app_mut(app);
+                    s.warp_insts += 1;
+                    s.thread_insts += u64::from(kernel.active_lanes);
+                    s.alu_insts += 1;
+                    let block = warp.block;
+                    self.ready[slot] = false;
+                    let b = self
+                        .blocks
+                        .iter_mut()
+                        .find(|b| b.block == block)
+                        .expect("warp's block is resident");
+                    b.barrier_waiters.push(slot as u32);
+                    if b.barrier_waiters.len() as u32 == b.warps_left {
+                        // Last arrival: release everyone past the barrier.
+                        let waiters = std::mem::take(&mut b.barrier_waiters);
+                        for w_slot in waiters {
+                            let ws = w_slot as usize;
+                            let done = self.warps[ws]
+                                .as_mut()
+                                .expect("waiter resident")
+                                .advance(body_len);
+                            if done {
+                                retired_blocks += self.retire(ws);
+                            } else {
+                                self.sleepers.push(Reverse((now + 1, w_slot)));
+                            }
+                        }
+                    }
+                }
+                Op::Store(PatternId(p)) => {
+                    let p = usize::from(p);
+                    let pattern = &kernel.patterns[p];
+                    let global_warp = u64::from(warp.block) * u64::from(kernel.warps_per_block)
+                        + u64::from(warp.warp_in_block);
+                    self.addr_buf.clear();
+                    generate_addresses(
+                        pattern,
+                        p,
+                        app_base,
+                        warp,
+                        global_warp,
+                        total_warps,
+                        line,
+                        &mut self.rng,
+                        &mut self.addr_buf,
+                    );
+                    if self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
+                        self.ready[slot] = false;
+                        self.sleepers.push(Reverse((now + 2, slot as u32)));
+                        continue;
+                    }
+                    let s = stats.app_mut(app);
+                    s.warp_insts += 1;
+                    s.thread_insts += u64::from(kernel.active_lanes);
+                    s.mem_insts += 1;
+                    // Stores bypass the L1 (write-through, no-allocate).
+                    for &addr in &self.addr_buf {
+                        memsys.push(MemRequest {
+                            addr,
+                            is_write: true,
+                            app,
+                            sm: self.id,
+                            warp_slot: u32::MAX,
+                            arrive_at: now + u64::from(cfg.icnt_lat),
+                        });
+                    }
+                    bump_counter(warp, p);
+                    let done = warp.advance(body_len);
+                    self.ready[slot] = false;
+                    if done {
+                        // Stores are fire-and-forget; nothing to wait for.
+                        retired_blocks += self.retire(slot);
+                    } else {
+                        // Warp may issue again next cycle.
+                        self.sleepers.push(Reverse((now + 1, slot as u32)));
+                    }
+                }
+            }
+        }
+        retired_blocks
+    }
+
+    /// Retires the warp in `slot`; returns 1 if its block completed.
+    fn retire(&mut self, slot: usize) -> u32 {
+        let warp = self.warps[slot].take().expect("retiring empty slot");
+        self.ready[slot] = false;
+        self.ages[slot] = u64::MAX;
+        self.free_slots += 1;
+        let idx = self
+            .blocks
+            .iter()
+            .position(|b| b.block == warp.block)
+            .expect("warp's block is resident");
+        self.blocks[idx].warps_left -= 1;
+        if self.blocks[idx].warps_left == 0 {
+            self.blocks.swap_remove(idx);
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Requests a drain-based ownership change. Takes effect once every
+    /// resident block finishes ([`Sm::try_complete_handoff`]).
+    pub fn request_handoff(&mut self, new_owner: Option<AppId>) {
+        self.pending_owner = new_owner;
+        if self.is_empty() {
+            self.complete_handoff();
+        }
+    }
+
+    /// Completes a pending handoff if the SM has drained. Returns `true`
+    /// when ownership changed this call.
+    pub fn try_complete_handoff(&mut self) -> bool {
+        if self.pending_owner.is_some() && self.is_empty() {
+            self.complete_handoff();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complete_handoff(&mut self) {
+        self.owner = self.pending_owner.take();
+        // The incoming application must not inherit warm lines.
+        self.l1.flush();
+        self.sched.reset();
+    }
+
+    /// L1 statistics (hits, misses).
+    pub fn l1_stats(&self) -> (u64, u64) {
+        (self.l1.hits(), self.l1.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::AccessPattern;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::test_small()
+    }
+
+    fn alu_kernel() -> KernelDesc {
+        KernelDesc {
+            name: "alu".into(),
+            grid_blocks: 2,
+            warps_per_block: 2,
+            iters_per_warp: 3,
+            body: vec![Op::Alu { latency: 2 }],
+            patterns: vec![],
+            active_lanes: 32,
+        }
+    }
+
+    fn run_to_idle(sm: &mut Sm, kernel: &KernelDesc, cfg: &GpuConfig) -> (u64, u32) {
+        let mut ms = MemSys::new(cfg);
+        let mut st = SimStats::new(2);
+        let mut done_blocks = 0;
+        let mut cycle = 0u64;
+        while !sm.is_empty() {
+            sm.wake(cycle);
+            let mut comps = Vec::new();
+            ms.drain_completions(cycle, &mut comps);
+            for c in comps {
+                done_blocks += sm.on_mem_response(c.warp_slot);
+            }
+            ms.tick(cycle, &mut st);
+            done_blocks += sm.issue(cycle, kernel, AppId(0), 0, cfg, &mut ms, &mut st);
+            cycle += 1;
+            assert!(cycle < 1_000_000, "SM never drained");
+        }
+        (cycle, done_blocks)
+    }
+
+    #[test]
+    fn dispatch_and_capacity() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = alu_kernel();
+        assert!(sm.can_take_block(&k, &cfg));
+        sm.dispatch_block(&k, 0);
+        assert_eq!(sm.resident_blocks(), 1);
+        assert_eq!(sm.live_warps(), 2);
+    }
+
+    #[test]
+    fn alu_kernel_retires_blocks() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = alu_kernel();
+        sm.dispatch_block(&k, 0);
+        sm.dispatch_block(&k, 1);
+        let (_, done) = run_to_idle(&mut sm, &k, &cfg);
+        assert_eq!(done, 2);
+        assert!(sm.is_empty());
+        assert_eq!(sm.live_warps(), 0);
+    }
+
+    #[test]
+    fn load_kernel_counts_memory_traffic() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = KernelDesc {
+            name: "ld".into(),
+            grid_blocks: 1,
+            warps_per_block: 1,
+            iters_per_warp: 8,
+            body: vec![Op::Load(PatternId(0))],
+            patterns: vec![AccessPattern::streaming(1 << 20)],
+            active_lanes: 32,
+        };
+        sm.dispatch_block(&k, 0);
+        let mut ms = MemSys::new(&cfg);
+        let mut st = SimStats::new(1);
+        let mut cycle = 0u64;
+        while !sm.is_empty() || !ms.is_idle() {
+            sm.wake(cycle);
+            let mut comps = Vec::new();
+            ms.drain_completions(cycle, &mut comps);
+            for c in comps {
+                let _ = sm.on_mem_response(c.warp_slot);
+            }
+            ms.tick(cycle, &mut st);
+            sm.issue(cycle, &k, AppId(0), 0, &cfg, &mut ms, &mut st);
+            cycle += 1;
+            assert!(cycle < 100_000);
+        }
+        let a = st.app(AppId(0));
+        assert_eq!(a.mem_insts, 8);
+        assert!(a.dram_read_bytes > 0, "streaming loads reach DRAM");
+    }
+
+    #[test]
+    fn store_kernel_does_not_block() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = KernelDesc {
+            name: "st".into(),
+            grid_blocks: 1,
+            warps_per_block: 1,
+            iters_per_warp: 4,
+            body: vec![Op::Store(PatternId(0))],
+            patterns: vec![AccessPattern::streaming(1 << 20)],
+            active_lanes: 32,
+        };
+        sm.dispatch_block(&k, 0);
+        let (cycles, done) = run_to_idle(&mut sm, &k, &cfg);
+        assert_eq!(done, 1);
+        // 4 stores at 1 cycle apiece plus wake slack.
+        assert!(cycles < 64, "stores stalled the warp: {cycles} cycles");
+    }
+
+    #[test]
+    fn handoff_waits_for_drain() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        sm.owner = Some(AppId(0));
+        let k = alu_kernel();
+        sm.dispatch_block(&k, 0);
+        sm.request_handoff(Some(AppId(1)));
+        assert_eq!(sm.owner, Some(AppId(0)), "still draining");
+        assert!(!sm.try_complete_handoff());
+        let _ = run_to_idle(&mut sm, &k, &cfg);
+        assert!(sm.try_complete_handoff());
+        assert_eq!(sm.owner, Some(AppId(1)));
+    }
+
+    #[test]
+    fn handoff_immediate_when_empty() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        sm.owner = Some(AppId(0));
+        sm.request_handoff(Some(AppId(1)));
+        assert_eq!(sm.owner, Some(AppId(1)));
+        assert!(sm.pending_owner.is_none());
+    }
+
+    #[test]
+    fn barrier_synchronizes_block() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        // Two warps with very different ALU latencies before a barrier:
+        // both must leave the barrier together.
+        let k = KernelDesc {
+            name: "bar".into(),
+            grid_blocks: 1,
+            warps_per_block: 4,
+            iters_per_warp: 6,
+            body: vec![Op::Alu { latency: 12 }, Op::Barrier, Op::Alu { latency: 2 }],
+            patterns: vec![],
+            active_lanes: 32,
+        };
+        sm.dispatch_block(&k, 0);
+        let (_, done) = run_to_idle(&mut sm, &k, &cfg);
+        assert_eq!(done, 1, "block retires despite barriers");
+    }
+
+    #[test]
+    fn barrier_as_last_op_retires_cleanly() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = KernelDesc {
+            name: "bar-tail".into(),
+            grid_blocks: 2,
+            warps_per_block: 2,
+            iters_per_warp: 3,
+            body: vec![Op::Alu { latency: 4 }, Op::Barrier],
+            patterns: vec![],
+            active_lanes: 32,
+        };
+        sm.dispatch_block(&k, 0);
+        sm.dispatch_block(&k, 1);
+        let (_, done) = run_to_idle(&mut sm, &k, &cfg);
+        assert_eq!(done, 2);
+        assert!(sm.is_empty());
+    }
+
+    #[test]
+    fn barrier_with_memory_ops_interleaved() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = KernelDesc {
+            name: "bar-mem".into(),
+            grid_blocks: 1,
+            warps_per_block: 3,
+            iters_per_warp: 4,
+            body: vec![
+                Op::Load(PatternId(0)),
+                Op::Barrier,
+                Op::Alu { latency: 2 },
+            ],
+            patterns: vec![AccessPattern::streaming(1 << 20)],
+            active_lanes: 32,
+        };
+        sm.dispatch_block(&k, 0);
+        let (_, done) = run_to_idle(&mut sm, &k, &cfg);
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn block_limit_respected() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = alu_kernel();
+        for b in 0..cfg.max_blocks_per_sm {
+            assert!(sm.can_take_block(&k, &cfg));
+            sm.dispatch_block(&k, b);
+        }
+        assert!(!sm.can_take_block(&k, &cfg), "block limit");
+    }
+
+    #[test]
+    fn warp_slot_limit_respected() {
+        let cfg = cfg();
+        let mut sm = Sm::new(0, &cfg);
+        let k = KernelDesc {
+            warps_per_block: cfg.max_warps_per_sm,
+            ..alu_kernel()
+        };
+        assert!(sm.can_take_block(&k, &cfg));
+        sm.dispatch_block(&k, 0);
+        assert!(!sm.can_take_block(&k, &cfg), "warp slots exhausted");
+    }
+}

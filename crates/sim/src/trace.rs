@@ -1,0 +1,201 @@
+//! Windowed time-series tracing: per-window device and per-application
+//! rates, as the SMRA controller sees them (§3.2.4 samples every `T_C`
+//! cycles). Useful for debugging allocation decisions and for plotting
+//! co-run dynamics.
+
+use crate::gpu::Gpu;
+use crate::kernel::AppId;
+use crate::stats::{window_between, SimStats};
+
+/// One sampled window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Cycle at the end of the window.
+    pub cycle: u64,
+    /// Device thread-IPC over the window.
+    pub device_ipc: f64,
+    /// Per-app thread-IPC over the window.
+    pub app_ipc: Vec<f64>,
+    /// Per-app DRAM bytes/cycle over the window.
+    pub app_bw: Vec<f64>,
+    /// Per-app effective SM counts at the sample point.
+    pub sm_counts: Vec<u32>,
+}
+
+/// Records windowed samples while driving a device.
+///
+/// # Example
+///
+/// ```
+/// use gcs_sim::config::GpuConfig;
+/// use gcs_sim::gpu::Gpu;
+/// use gcs_sim::kernel::{KernelDesc, Op};
+/// use gcs_sim::trace::WindowTrace;
+///
+/// # fn main() -> Result<(), gcs_sim::SimError> {
+/// let mut gpu = Gpu::new(GpuConfig::test_small())?;
+/// let app = gpu.launch(KernelDesc {
+///     name: "t".into(),
+///     grid_blocks: 8,
+///     warps_per_block: 2,
+///     iters_per_warp: 64,
+///     body: vec![Op::Alu { latency: 4 }],
+///     patterns: vec![],
+///     active_lanes: 32,
+/// })?;
+/// gpu.partition_even();
+/// let mut trace = WindowTrace::new(500, vec![app], &gpu);
+/// trace.run_to_completion(&mut gpu, 10_000_000)?;
+/// assert!(!trace.samples().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct WindowTrace {
+    window: u64,
+    apps: Vec<AppId>,
+    prev: SimStats,
+    samples: Vec<WindowSample>,
+}
+
+impl WindowTrace {
+    /// Creates a tracer sampling every `window` cycles for `apps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, apps: Vec<AppId>, gpu: &Gpu) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowTrace {
+            window,
+            apps,
+            prev: gpu.stats().clone(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Advances the device one window and records a sample.
+    pub fn step_window(&mut self, gpu: &mut Gpu) {
+        gpu.run_for(self.window);
+        let now = gpu.stats().clone();
+        let delta = now.cycles.saturating_sub(self.prev.cycles);
+        if delta == 0 {
+            return;
+        }
+        let w = window_between(&self.prev, &now, delta);
+        self.samples.push(WindowSample {
+            cycle: now.cycles,
+            device_ipc: w.device_ipc,
+            app_ipc: self
+                .apps
+                .iter()
+                .map(|a| w.app_ipc[usize::from(a.0)])
+                .collect(),
+            app_bw: self
+                .apps
+                .iter()
+                .map(|a| w.app_bw[usize::from(a.0)])
+                .collect(),
+            sm_counts: self.apps.iter().map(|&a| gpu.sm_count(a)).collect(),
+        });
+        self.prev = now;
+    }
+
+    /// Runs to completion, sampling every window.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::Timeout`] past `max_cycles`.
+    pub fn run_to_completion(
+        &mut self,
+        gpu: &mut Gpu,
+        max_cycles: u64,
+    ) -> Result<(), crate::SimError> {
+        while !gpu.all_done() {
+            if gpu.cycle() >= max_cycles {
+                return Err(crate::SimError::Timeout { cycle: gpu.cycle() });
+            }
+            self.step_window(gpu);
+        }
+        Ok(())
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[WindowSample] {
+        &self.samples
+    }
+
+    /// Renders the trace as CSV: one row per window, one IPC/BW/SM
+    /// column group per traced app.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,device_ipc");
+        for (i, _) in self.apps.iter().enumerate() {
+            out.push_str(&format!(",app{i}_ipc,app{i}_bw,app{i}_sms"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!("{},{:.3}", s.cycle, s.device_ipc));
+            for i in 0..self.apps.len() {
+                out.push_str(&format!(
+                    ",{:.3},{:.3},{}",
+                    s.app_ipc[i], s.app_bw[i], s.sm_counts[i]
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::kernel::{KernelDesc, Op};
+
+    fn kernel(blocks: u32) -> KernelDesc {
+        KernelDesc {
+            name: "t".into(),
+            grid_blocks: blocks,
+            warps_per_block: 2,
+            iters_per_warp: 200,
+            body: vec![Op::Alu { latency: 4 }],
+            patterns: vec![],
+            active_lanes: 32,
+        }
+    }
+
+    #[test]
+    fn traces_a_run_and_renders_csv() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(kernel(16)).unwrap();
+        let b = gpu.launch(kernel(16)).unwrap();
+        gpu.partition_even();
+        let mut t = WindowTrace::new(1_000, vec![a, b], &gpu);
+        t.run_to_completion(&mut gpu, 50_000_000).unwrap();
+        assert!(t.samples().len() >= 2, "expected several windows");
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,device_ipc,app0_ipc,app0_bw,app0_sms,app1_ipc,app1_bw,app1_sms");
+        assert_eq!(lines.len(), t.samples().len() + 1);
+        // Sampled IPC must be positive while both apps run.
+        assert!(t.samples()[0].device_ipc > 0.0);
+        assert_eq!(t.samples()[0].sm_counts, vec![4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        WindowTrace::new(0, vec![], &gpu);
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(kernel(64)).unwrap();
+        gpu.partition_even();
+        let mut t = WindowTrace::new(100, vec![a], &gpu);
+        assert!(t.run_to_completion(&mut gpu, 200).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Warp execution state and address generation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::kernel::{AccessPattern, KernelDesc, PatternKind};
+
+/// Maximum access patterns a kernel may declare (keeps per-warp state
+/// inline and allocation-free).
+pub const MAX_PATTERNS: usize = 4;
+
+/// Execution state of one resident warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Global block index this warp belongs to (also used in address
+    /// generation so blocks touch distinct regions).
+    pub block: u32,
+    /// Warp index within its block.
+    pub warp_in_block: u32,
+    /// Monotone dispatch sequence number; the GTO scheduler's age.
+    pub age: u64,
+    /// Next op index in the kernel body.
+    pub pc: u32,
+    /// Loop iterations left (including the current one).
+    pub iters_left: u32,
+    /// Outstanding load transactions; the warp sleeps until zero.
+    pub outstanding: u16,
+    /// Set when the warp issued its final instruction (a load) and only
+    /// waits for outstanding transactions before retiring. Prevents the
+    /// slot from being recycled while responses are still in flight.
+    pub retiring: bool,
+    /// Per-pattern access counters.
+    pub pattern_ctr: [u32; MAX_PATTERNS],
+}
+
+impl Warp {
+    /// Creates a warp at the start of the kernel body.
+    pub fn new(block: u32, warp_in_block: u32, age: u64, iters: u32) -> Self {
+        Warp {
+            block,
+            warp_in_block,
+            age,
+            pc: 0,
+            iters_left: iters,
+            outstanding: 0,
+            retiring: false,
+            pattern_ctr: [0; MAX_PATTERNS],
+        }
+    }
+
+    /// Advances past the op just issued. Returns `true` when the warp
+    /// has retired its last instruction.
+    pub fn advance(&mut self, body_len: u32) -> bool {
+        self.pc += 1;
+        if self.pc >= body_len {
+            self.pc = 0;
+            self.iters_left -= 1;
+            if self.iters_left == 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Generates the line-aligned addresses for one warp access through
+/// `pattern`, appending them to `out`.
+///
+/// `app_base` isolates address spaces between co-running applications;
+/// `pattern_idx` further separates regions within an application.
+/// `global_warp` is the warp's unique index in the grid
+/// (`block * warps_per_block + warp_in_block`); `total_warps` lets
+/// streaming patterns give each warp a contiguous chunk of the working
+/// set (each warp streams sequentially through its own chunk, which is
+/// what coalesced CUDA kernels look like from the DRAM's perspective).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_addresses(
+    pattern: &AccessPattern,
+    pattern_idx: usize,
+    app_base: u64,
+    warp: &Warp,
+    global_warp: u64,
+    total_warps: u64,
+    line_bytes: u64,
+    rng: &mut SmallRng,
+    out: &mut Vec<u64>,
+) {
+    let base = app_base + ((pattern_idx as u64) << 36);
+    let ws_lines = (pattern.working_set / line_bytes).max(1);
+    let counter = u64::from(warp.pattern_ctr[pattern_idx]);
+    let n = u64::from(pattern.transactions);
+
+    match pattern.kind {
+        PatternKind::Streaming => {
+            // Line-interleaved across warps, like a coalesced CUDA grid
+            // reading `a[global_thread_id]`: at any instant the warps of
+            // one block touch *adjacent* lines, which is what gives
+            // streaming kernels their DRAM row-buffer locality.
+            let tw = total_warps.max(1);
+            for t in 0..n {
+                let line = (global_warp * n + t + counter * tw * n) % ws_lines;
+                out.push(base + line * line_bytes);
+            }
+        }
+        PatternKind::Strided { stride } => {
+            for t in 0..n {
+                let off = (global_warp * line_bytes + (counter * n + t) * stride)
+                    % pattern.working_set;
+                out.push(base + (off / line_bytes) * line_bytes);
+            }
+        }
+        PatternKind::Random => {
+            for _ in 0..n {
+                let line = rng.gen_range(0..ws_lines);
+                out.push(base + line * line_bytes);
+            }
+        }
+        PatternKind::Tiled { tile_bytes } => {
+            let tiles = (pattern.working_set / tile_bytes).max(1);
+            let tile = u64::from(warp.block) % tiles;
+            let tile_lines = (tile_bytes / line_bytes).max(1);
+            for t in 0..n {
+                let line_in_tile =
+                    (u64::from(warp.warp_in_block) + (counter * n + t)) % tile_lines;
+                out.push(base + tile * tile_bytes + line_in_tile * line_bytes);
+            }
+        }
+    }
+}
+
+/// Bumps the pattern counter after an access.
+pub fn bump_counter(warp: &mut Warp, pattern_idx: usize) {
+    warp.pattern_ctr[pattern_idx] = warp.pattern_ctr[pattern_idx].wrapping_add(1);
+}
+
+/// Validates that a kernel fits the inline pattern-state limit.
+///
+/// # Errors
+///
+/// Returns an error string when the kernel declares more than
+/// [`MAX_PATTERNS`] patterns.
+pub fn check_pattern_limit(kernel: &KernelDesc) -> Result<(), String> {
+    if kernel.patterns.len() > MAX_PATTERNS {
+        Err(format!(
+            "kernel {} declares {} patterns; the simulator supports at most {MAX_PATTERNS}",
+            kernel.name,
+            kernel.patterns.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn advance_wraps_and_retires() {
+        let mut w = Warp::new(0, 0, 0, 2);
+        assert!(!w.advance(3)); // pc 1
+        assert!(!w.advance(3)); // pc 2
+        assert!(!w.advance(3)); // wrap, iter 1 left
+        assert!(!w.advance(3));
+        assert!(!w.advance(3));
+        assert!(w.advance(3)); // retired
+    }
+
+    #[test]
+    fn streaming_strides_by_grid_width() {
+        let p = AccessPattern::streaming(1 << 20);
+        let mut w = Warp::new(0, 0, 0, 10);
+        let mut out = Vec::new();
+        let mut r = rng();
+        generate_addresses(&p, 0, 0, &w, 0, 8, 128, &mut r, &mut out);
+        bump_counter(&mut w, 0);
+        generate_addresses(&p, 0, 0, &w, 0, 8, 128, &mut r, &mut out);
+        assert_eq!(out.len(), 2);
+        // Grid-stride loop: next iteration jumps by total_warps lines.
+        assert_eq!(out[1], out[0] + 8 * 128);
+    }
+
+    #[test]
+    fn streaming_adjacent_warps_touch_adjacent_lines() {
+        let p = AccessPattern::streaming(1 << 20);
+        let w0 = Warp::new(0, 0, 0, 1);
+        let w1 = Warp::new(0, 1, 1, 1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut r = rng();
+        generate_addresses(&p, 0, 0, &w0, 0, 8, 128, &mut r, &mut a);
+        generate_addresses(&p, 0, 0, &w1, 1, 8, 128, &mut r, &mut b);
+        assert_eq!(b[0], a[0] + 128, "warp 1 reads the line after warp 0");
+    }
+
+    #[test]
+    fn random_addresses_stay_in_working_set() {
+        let ws = 64 * 128u64;
+        let p = AccessPattern::random(ws, 4);
+        let w = Warp::new(3, 1, 0, 1);
+        let mut out = Vec::new();
+        let mut r = rng();
+        generate_addresses(&p, 1, 1 << 40, &w, 25, 32, 128, &mut r, &mut out);
+        assert_eq!(out.len(), 4);
+        for &a in &out {
+            let off = a - ((1u64 << 40) + (1u64 << 36));
+            assert!(off < ws);
+            assert_eq!(off % 128, 0, "line aligned");
+        }
+    }
+
+    #[test]
+    fn tiled_blocks_reuse_their_tile() {
+        let p = AccessPattern::tiled(1 << 16, 1 << 12);
+        let mut w = Warp::new(2, 0, 0, 4);
+        let mut first = Vec::new();
+        let mut r = rng();
+        generate_addresses(&p, 0, 0, &w, 16, 64, 128, &mut r, &mut first);
+        // Walk enough accesses to wrap the tile: tile has 32 lines.
+        for _ in 0..32 {
+            bump_counter(&mut w, 0);
+        }
+        let mut again = Vec::new();
+        generate_addresses(&p, 0, 0, &w, 16, 64, 128, &mut r, &mut again);
+        assert_eq!(first, again, "tile walk is periodic");
+    }
+
+    #[test]
+    fn pattern_limit_enforced() {
+        use crate::kernel::{KernelDesc, Op, PatternId};
+        let k = KernelDesc {
+            name: "toolarge".into(),
+            grid_blocks: 1,
+            warps_per_block: 1,
+            iters_per_warp: 1,
+            body: vec![Op::Load(PatternId(0))],
+            patterns: vec![AccessPattern::streaming(4096); MAX_PATTERNS + 1],
+            active_lanes: 32,
+        };
+        assert!(check_pattern_limit(&k).is_err());
+    }
+
+    #[test]
+    fn addresses_of_different_apps_never_alias() {
+        let p = AccessPattern::streaming(1 << 30);
+        let w = Warp::new(0, 0, 0, 1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut r = rng();
+        generate_addresses(&p, 0, 0u64 << 40, &w, 0, 8, 128, &mut r, &mut a);
+        generate_addresses(&p, 0, 1u64 << 40, &w, 0, 8, 128, &mut r, &mut b);
+        assert_ne!(a[0] >> 40, b[0] >> 40);
+    }
+}

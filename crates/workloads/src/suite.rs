@@ -1,0 +1,360 @@
+//! The fourteen benchmark models and the thesis' reference profiles.
+
+use gcs_sim::kernel::{AccessPattern, KernelDesc};
+
+use crate::{l2_resident_sweep, MemOp, ModelParams, Scale};
+
+/// Megabyte shorthand.
+const MB: u64 = 1 << 20;
+/// Kilobyte shorthand.
+const KB: u64 = 1 << 10;
+
+/// The Rodinia-suite benchmarks of Table 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Breadth-first search (graph traversal, divergent, cache heavy).
+    Bfs2,
+    /// Black-Scholes option pricing (streaming, bandwidth bound).
+    Blk,
+    /// Back-propagation neural network training.
+    Bp,
+    /// LU decomposition (tiny tiled working set, low parallelism).
+    Lud,
+    /// Fast Fourier transform (per-block tiles that spill L2 at scale).
+    Fft,
+    /// JPEG encoding (balanced streaming compute).
+    Jpeg,
+    /// 3D stencil (streaming plus a shared boundary slab).
+    Threeds,
+    /// HotSpot thermal simulation (massively parallel compute).
+    Hs,
+    /// Laplace solver (moderate parallelism, saturating).
+    Lps,
+    /// Ray tracing (divergent, mixed traffic).
+    Ray,
+    /// Giga-updates-per-second random access (bandwidth hostile).
+    Gups,
+    /// Sparse matrix-vector product (cache resident, irregular).
+    Spmv,
+    /// Sum of absolute differences (video encoding, compute dense).
+    Sad,
+    /// k-nearest-neighbors (low occupancy, latency bound).
+    Nn,
+}
+
+impl Benchmark {
+    /// All fourteen benchmarks in Table 3.2 order.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Bfs2,
+        Benchmark::Blk,
+        Benchmark::Bp,
+        Benchmark::Lud,
+        Benchmark::Fft,
+        Benchmark::Jpeg,
+        Benchmark::Threeds,
+        Benchmark::Hs,
+        Benchmark::Lps,
+        Benchmark::Ray,
+        Benchmark::Gups,
+        Benchmark::Spmv,
+        Benchmark::Sad,
+        Benchmark::Nn,
+    ];
+
+    /// The thesis' name for this benchmark.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Bfs2 => "BFS2",
+            Benchmark::Blk => "BLK",
+            Benchmark::Bp => "BP",
+            Benchmark::Lud => "LUD",
+            Benchmark::Fft => "FFT",
+            Benchmark::Jpeg => "JPEG",
+            Benchmark::Threeds => "3DS",
+            Benchmark::Hs => "HS",
+            Benchmark::Lps => "LPS",
+            Benchmark::Ray => "RAY",
+            Benchmark::Gups => "GUPS",
+            Benchmark::Spmv => "SPMV",
+            Benchmark::Sad => "SAD",
+            Benchmark::Nn => "NN",
+        }
+    }
+
+    /// Looks a benchmark up by its thesis name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Raw (unscaled) model parameters.
+    ///
+    /// Calibration notes: on the `gcs-sim` GTX 480 model a kernel's
+    /// steady state is set by its *resident warp count* W and per-warp
+    /// loop period P (memory latencies + ALU issue), giving
+    /// `iters/cycle = W / P`; DRAM bandwidth, L2 traffic and IPC all
+    /// follow from the per-iteration footprint. Class M models saturate
+    /// the memory system outright; MC/A/C models are occupancy-bound so
+    /// they land in the paper's bandwidth bands.
+    pub fn params(&self) -> ModelParams {
+        match self {
+            // ---- class M: memory-bandwidth dominated -------------------
+            Benchmark::Blk => ModelParams {
+                grid_blocks: 480,
+                warps_per_block: 8,
+                iters_per_warp: 48,
+                active_lanes: 32,
+                alu_ops: 39,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(64 * MB)),
+                    MemOp::load(AccessPattern::streaming(64 * MB)),
+                    MemOp::store(AccessPattern::streaming(32 * MB)),
+                ],
+            },
+            Benchmark::Gups => ModelParams {
+                grid_blocks: 240,
+                warps_per_block: 8,
+                iters_per_warp: 14,
+                active_lanes: 8,
+                alu_ops: 18,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::random(256 * MB, 8)),
+                    MemOp::store(AccessPattern::random(256 * MB, 8)),
+                ],
+            },
+
+            // ---- class MC: bandwidth + cache --------------------------
+            Benchmark::Bp => ModelParams {
+                grid_blocks: 200,
+                warps_per_block: 1,
+                iters_per_warp: 760,
+                active_lanes: 32,
+                alu_ops: 42,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(48 * MB)),
+                    MemOp::load(l2_resident_sweep(512 * KB)),
+                    MemOp::load(l2_resident_sweep(384 * KB)),
+                    MemOp::store(AccessPattern::streaming(24 * MB)),
+                ],
+            },
+            Benchmark::Fft => ModelParams {
+                grid_blocks: 220,
+                warps_per_block: 1,
+                iters_per_warp: 600,
+                active_lanes: 24,
+                alu_ops: 37,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(32 * MB)),
+                    MemOp::load(AccessPattern::tiled(24 * MB, 8 * KB)),
+                ],
+            },
+            Benchmark::Threeds => ModelParams {
+                grid_blocks: 176,
+                warps_per_block: 1,
+                iters_per_warp: 960,
+                active_lanes: 32,
+                alu_ops: 34,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(48 * MB)),
+                    MemOp::load(l2_resident_sweep(640 * KB)),
+                    MemOp::store(AccessPattern::streaming(24 * MB)),
+                ],
+            },
+            Benchmark::Lps => ModelParams {
+                grid_blocks: 88,
+                warps_per_block: 2,
+                iters_per_warp: 930,
+                active_lanes: 32,
+                alu_ops: 35,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(32 * MB)),
+                    MemOp::load(l2_resident_sweep(512 * KB)),
+                    MemOp::store(AccessPattern::streaming(16 * MB)),
+                ],
+            },
+            Benchmark::Ray => ModelParams {
+                grid_blocks: 104,
+                warps_per_block: 2,
+                iters_per_warp: 840,
+                active_lanes: 32,
+                alu_ops: 46,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(24 * MB)),
+                    MemOp::load(l2_resident_sweep(640 * KB)),
+                    MemOp::store(AccessPattern::streaming(12 * MB)),
+                ],
+            },
+
+            // ---- class C: cache (L2) dominated -------------------------
+            Benchmark::Bfs2 => ModelParams {
+                grid_blocks: 128,
+                warps_per_block: 2,
+                iters_per_warp: 3400,
+                active_lanes: 2,
+                alu_ops: 4,
+                alu_latency: 8,
+                mem_ops: vec![MemOp::load(l2_resident_sweep(896 * KB))],
+            },
+            Benchmark::Spmv => ModelParams {
+                grid_blocks: 60,
+                warps_per_block: 4,
+                iters_per_warp: 2760,
+                active_lanes: 4,
+                alu_ops: 13,
+                alu_latency: 4,
+                mem_ops: vec![MemOp::load(l2_resident_sweep(1280 * KB))],
+            },
+
+            // ---- class A: compute dominated ----------------------------
+            Benchmark::Lud => ModelParams {
+                grid_blocks: 12,
+                warps_per_block: 1,
+                iters_per_warp: 1360,
+                active_lanes: 32,
+                alu_ops: 30,
+                alu_latency: 8,
+                mem_ops: vec![MemOp::load(AccessPattern::tiled(96 * KB, 8 * KB))],
+            },
+            Benchmark::Jpeg => ModelParams {
+                grid_blocks: 280,
+                warps_per_block: 1,
+                iters_per_warp: 310,
+                active_lanes: 12,
+                alu_ops: 150,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(l2_resident_sweep(640 * KB)),
+                    MemOp::load(AccessPattern::streaming(24 * MB)),
+                    MemOp::store(AccessPattern::streaming(12 * MB)),
+                ],
+            },
+            Benchmark::Hs => ModelParams {
+                grid_blocks: 320,
+                warps_per_block: 1,
+                iters_per_warp: 270,
+                active_lanes: 32,
+                alu_ops: 120,
+                alu_latency: 8,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(32 * MB)),
+                    MemOp::load(AccessPattern::streaming(32 * MB)),
+                ],
+            },
+            Benchmark::Sad => ModelParams {
+                grid_blocks: 280,
+                warps_per_block: 1,
+                iters_per_warp: 326,
+                active_lanes: 16,
+                alu_ops: 170,
+                alu_latency: 4,
+                mem_ops: vec![
+                    MemOp::load(AccessPattern::streaming(16 * MB)),
+                    MemOp::store(AccessPattern::streaming(8 * MB)),
+                ],
+            },
+            Benchmark::Nn => ModelParams {
+                grid_blocks: 200,
+                warps_per_block: 1,
+                iters_per_warp: 560,
+                active_lanes: 4,
+                alu_ops: 40,
+                alu_latency: 12,
+                mem_ops: vec![MemOp::load(l2_resident_sweep(256 * KB))],
+            },
+        }
+    }
+
+    /// Builds the simulator kernel for this benchmark at `scale`.
+    pub fn kernel(&self, scale: Scale) -> KernelDesc {
+        self.params().into_kernel(self.name(), scale)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of the thesis' Table 3.2 (reference values; our simulator is
+/// calibrated toward the *shape* of this table, not its absolutes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperProfile {
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// DRAM memory bandwidth, GB/s.
+    pub memory_bw: f64,
+    /// L2→L1 bandwidth, GB/s.
+    pub l2_l1_bw: f64,
+    /// Thread-level IPC.
+    pub ipc: f64,
+    /// Memory-to-compute ratio.
+    pub r: f64,
+    /// Class letter the thesis assigns: 'M', 'X' (for MC), 'C' or 'A'.
+    pub class: char,
+}
+
+/// Table 3.2 verbatim ('X' encodes class MC).
+pub const PAPER_PROFILES: [PaperProfile; 14] = [
+    PaperProfile { bench: Benchmark::Bfs2, memory_bw: 35.5, l2_l1_bw: 132.9, ipc: 19.4, r: 0.19, class: 'C' },
+    PaperProfile { bench: Benchmark::Blk, memory_bw: 116.2, l2_l1_bw: 83.13, ipc: 577.1, r: 0.05, class: 'M' },
+    PaperProfile { bench: Benchmark::Bp, memory_bw: 84.06, l2_l1_bw: 142.7, ipc: 808.3, r: 0.06, class: 'X' },
+    PaperProfile { bench: Benchmark::Lud, memory_bw: 0.19, l2_l1_bw: 8.14, ipc: 40.1, r: 0.03, class: 'A' },
+    PaperProfile { bench: Benchmark::Fft, memory_bw: 105.8, l2_l1_bw: 122.8, ipc: 405.7, r: 0.08, class: 'X' },
+    PaperProfile { bench: Benchmark::Jpeg, memory_bw: 47.2, l2_l1_bw: 77.7, ipc: 386.4, r: 0.07, class: 'A' },
+    PaperProfile { bench: Benchmark::Threeds, memory_bw: 81.4, l2_l1_bw: 102.75, ipc: 533.9, r: 0.11, class: 'X' },
+    PaperProfile { bench: Benchmark::Hs, memory_bw: 43.93, l2_l1_bw: 97.3, ipc: 984.0, r: 0.01, class: 'A' },
+    PaperProfile { bench: Benchmark::Lps, memory_bw: 80.6, l2_l1_bw: 115.4, ipc: 540.9, r: 0.03, class: 'X' },
+    PaperProfile { bench: Benchmark::Ray, memory_bw: 59.7, l2_l1_bw: 69.1, ipc: 523.9, r: 0.1, class: 'X' },
+    PaperProfile { bench: Benchmark::Gups, memory_bw: 108.75, l2_l1_bw: 97.1, ipc: 10.61, r: 0.1, class: 'M' },
+    PaperProfile { bench: Benchmark::Spmv, memory_bw: 48.1, l2_l1_bw: 121.3, ipc: 208.7, r: 0.07, class: 'C' },
+    PaperProfile { bench: Benchmark::Sad, memory_bw: 57.35, l2_l1_bw: 46.1, ipc: 781.9, r: 0.01, class: 'A' },
+    PaperProfile { bench: Benchmark::Nn, memory_bw: 1.3, l2_l1_bw: 35.3, ipc: 56.8, r: 0.15, class: 'A' },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_covers_all_benchmarks() {
+        for b in Benchmark::ALL {
+            assert!(
+                PAPER_PROFILES.iter().any(|p| p.bench == b),
+                "{b} missing from PAPER_PROFILES"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_class_counts_match_chapter_4() {
+        // The thesis' 14-app queue: 2 class M, 5 MC, 2 C, 5 A.
+        let count = |c: char| PAPER_PROFILES.iter().filter(|p| p.class == c).count();
+        assert_eq!(count('M'), 2);
+        assert_eq!(count('X'), 5);
+        assert_eq!(count('C'), 2);
+        assert_eq!(count('A'), 5);
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Threeds.to_string(), "3DS");
+    }
+}

@@ -1,0 +1,49 @@
+//! Contention-aware pairing with the ILP (§3.2.3): build a queue,
+//! take an interference matrix, and compare the ILP's grouping with
+//! plain FCFS end to end.
+//!
+//! ```text
+//! cargo run --release --example pairing_ilp
+//! ```
+
+use gcs_core::ilp::solve_grouping;
+use gcs_core::interference::InterferenceMatrix;
+use gcs_core::queues::{census, thesis_queue_14};
+use gcs_core::runner::{AllocationPolicy, GroupingPolicy, Pipeline, RunConfig};
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 14-app queue, grouped by the ILP against a synthetic matrix
+    // shaped like the thesis' Fig 3.4 — no simulation needed for this
+    // part.
+    let matrix = InterferenceMatrix::synthetic_paper_shape();
+    let queue = thesis_queue_14();
+    let sol = solve_grouping(census(&queue), 2, &matrix)?;
+    println!("ILP grouping for the 14-app queue (class patterns):");
+    for (pattern, mult) in &sol.multiplicities {
+        println!("  {mult} x {pattern}");
+    }
+    println!("objective f = {:.3}\n", sol.objective);
+
+    // Now the full pipeline on a small device: profile, classify, group
+    // and execute under FCFS vs ILP.
+    let cfg = RunConfig {
+        gpu: GpuConfig::test_small(),
+        scale: Scale::TEST,
+        concurrency: 2,
+    };
+    let mut pipeline = Pipeline::with_matrix(cfg, matrix)?;
+    for policy in [GroupingPolicy::Fcfs, GroupingPolicy::Ilp] {
+        let report = pipeline.run_queue(&queue, policy, AllocationPolicy::Even)?;
+        println!(
+            "{policy:?}: device throughput {:.1} IPC over {} cycles",
+            report.device_throughput, report.total_cycles
+        );
+        for g in &report.groups {
+            let names: Vec<&str> = g.apps.iter().map(|a| a.bench.name()).collect();
+            println!("  {:<12} {} cycles", names.join("-"), g.makespan);
+        }
+    }
+    Ok(())
+}

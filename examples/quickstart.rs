@@ -1,0 +1,47 @@
+//! Quickstart: profile one benchmark, classify it, and co-run a pair.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gcs_core::classify::{classify, Thresholds};
+use gcs_core::profile::profile_alone;
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::{Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down GTX 480 keeps the example fast; swap in
+    // `GpuConfig::gtx480()` and `Scale::FULL` for the real experiments.
+    let cfg = GpuConfig::test_small();
+    let scale = Scale::TEST;
+
+    // 1. Profile an application running alone (§3.2.1).
+    let gups = profile_alone(&Benchmark::Gups.kernel(scale), &cfg)?;
+    println!(
+        "GUPS alone: {:.1} GB/s DRAM, {:.1} GB/s L2->L1, IPC {:.1}, R {:.2}",
+        gups.memory_bw, gups.l2_l1_bw, gups.ipc, gups.r
+    );
+
+    // 2. Classify it (Table 3.1). A bandwidth hog like GUPS lands in
+    //    class M; SAD is compute-dominated (class A).
+    let sad = profile_alone(&Benchmark::Sad.kernel(scale), &cfg)?;
+    let t = Thresholds::derive(&cfg, [&gups, &sad]);
+    println!("GUPS class: {}", classify(&gups, &t));
+    println!("SAD  class: {}", classify(&sad, &t));
+
+    // 3. Co-run the two on an even spatial partition and watch the
+    //    device throughput.
+    let mut gpu = Gpu::new(cfg)?;
+    let a = gpu.launch(Benchmark::Gups.kernel(scale))?;
+    let b = gpu.launch(Benchmark::Sad.kernel(scale))?;
+    gpu.partition_even();
+    gpu.run(200_000_000)?;
+    println!(
+        "co-run: GUPS {} cycles, SAD {} cycles, device throughput {:.1} IPC",
+        gpu.stats().app(a).runtime_cycles(),
+        gpu.stats().app(b).runtime_cycles(),
+        gpu.stats().device_throughput(),
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Dynamic SM reallocation (Algorithm 1): co-run a memory hog with a
+//! compute app, let the SMRA controller shift SMs between them, and
+//! compare against a static even split.
+//!
+//! ```text
+//! cargo run --release --example smra_dynamic
+//! ```
+
+use gcs_core::smra::{SmraController, SmraParams};
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::{Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GpuConfig::test_small();
+    let scale = Scale::TEST;
+
+    // Static even split baseline.
+    let mut gpu = Gpu::new(cfg.clone())?;
+    let hog = gpu.launch(Benchmark::Gups.kernel(scale))?;
+    let worker = gpu.launch(Benchmark::Sad.kernel(scale))?;
+    gpu.partition_even();
+    gpu.run(200_000_000)?;
+    let even_cycles = gpu.cycle();
+    println!(
+        "even split : makespan {even_cycles} cycles (GUPS {}, SAD {})",
+        gpu.stats().app(hog).runtime_cycles(),
+        gpu.stats().app(worker).runtime_cycles()
+    );
+
+    // SMRA: every T_C cycles, score the apps (low IPC + high bandwidth
+    // means the app wastes its SMs on memory stalls) and migrate SMs by
+    // draining blocks.
+    let mut gpu = Gpu::new(cfg.clone())?;
+    let hog = gpu.launch(Benchmark::Gups.kernel(scale))?;
+    let worker = gpu.launch(Benchmark::Sad.kernel(scale))?;
+    gpu.partition_even();
+    let params = SmraParams {
+        tc: 2_000,
+        ..SmraParams::for_device(cfg.num_sms, 2)
+    };
+    let mut ctl = SmraController::new(params, vec![hog, worker], &gpu);
+    ctl.run_to_completion(&mut gpu, 200_000_000)?;
+    println!(
+        "SMRA       : makespan {} cycles (GUPS {} SMs -> final {}, SAD -> {})",
+        gpu.cycle(),
+        cfg.num_sms / 2,
+        gpu.sm_count(hog),
+        gpu.sm_count(worker)
+    );
+    println!("controller actions: {:?}", ctl.actions());
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! Property-based tests over the core invariants: the MILP solver
+//! against the enumeration oracle, pattern combinatorics, queue
+//! construction, classification, and cache behaviour.
+
+use gcs_core::classify::{classify, AppClass, Thresholds};
+use gcs_core::ilp::solve_with_e;
+use gcs_core::pattern::{enumerate_patterns, num_patterns, Pattern};
+use gcs_core::profile::AppProfile;
+use gcs_core::queues::{census, queue_with_distribution, Distribution};
+use gcs_milp::enumerate::solve_by_enumeration;
+use gcs_milp::{Problem, Relation};
+use gcs_sim::cache::{Access, Cache};
+use gcs_sim::config::CacheConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// Branch & bound must agree with exhaustive enumeration on random
+    /// small all-integer maximization problems.
+    #[test]
+    fn milp_matches_enumeration(
+        obj in prop::collection::vec(0.0f64..10.0, 2..4),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..5.0, 4), 1.0f64..20.0),
+            1..4
+        ),
+    ) {
+        let n = obj.len();
+        let mut p = Problem::maximize(obj);
+        // Guarantee a bounding row so enumeration has finite bounds.
+        p.add_constraint(vec![1.0; n], Relation::Le, 12.0);
+        for (coeffs, rhs) in rows {
+            p.add_constraint(coeffs[..n].to_vec(), Relation::Le, rhs);
+        }
+        p.set_all_integer(true);
+        let bb = p.solve().expect("bounded feasible problem");
+        let oracle = solve_by_enumeration(&p).expect("oracle");
+        prop_assert!((bb.objective - oracle.objective).abs() < 1e-6,
+            "b&b {} vs oracle {}", bb.objective, oracle.objective);
+        prop_assert!(p.is_feasible(&bb.values));
+    }
+
+    /// The grouping ILP always covers the census exactly, for any
+    /// feasible class census divisible by the concurrency.
+    #[test]
+    fn grouping_covers_census(
+        groups_of in prop::collection::vec(0u32..4, 4),
+        nc in 2u32..4,
+    ) {
+        // Build a census guaranteed divisible by nc.
+        let mut counts = [0u32; 4];
+        let mut total = 0;
+        for (i, g) in groups_of.iter().enumerate() {
+            counts[i] = g * nc;
+            total += counts[i];
+        }
+        prop_assume!(total > 0);
+        let patterns = enumerate_patterns(nc);
+        let e: Vec<f64> = (0..patterns.len()).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let sol = solve_with_e(counts, nc, &e).expect("feasible");
+        let mut used = [0u32; 4];
+        for g in sol.groups() {
+            prop_assert_eq!(g.len(), nc as usize);
+            for c in g {
+                used[c.index()] += 1;
+            }
+        }
+        prop_assert_eq!(used, counts);
+    }
+
+    /// Pattern enumeration size always matches the closed form Eq. 3.2,
+    /// every pattern sums to NC, and patterns are unique.
+    #[test]
+    fn pattern_enumeration_invariants(nc in 1u32..6) {
+        let pats = enumerate_patterns(nc);
+        prop_assert_eq!(pats.len() as u64, num_patterns(4, nc));
+        for p in &pats {
+            prop_assert_eq!(p.size(), nc);
+        }
+        for (i, a) in pats.iter().enumerate() {
+            for b in &pats[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// The ILP objective is invariant under scaling all e by a positive
+    /// constant (the argmax cannot change, so the chosen multiplicities
+    /// achieve the scaled optimum).
+    #[test]
+    fn ilp_scale_invariance(k in 0.1f64..10.0) {
+        let e: Vec<f64> = (1..=10).map(|i| f64::from(i) * 0.01).collect();
+        let scaled: Vec<f64> = e.iter().map(|v| v * k).collect();
+        let a = solve_with_e([2, 5, 2, 5], 2, &e).expect("base");
+        let b = solve_with_e([2, 5, 2, 5], 2, &scaled).expect("scaled");
+        prop_assert!((a.objective * k - b.objective).abs() < 1e-6);
+    }
+
+    /// Queue construction always matches the requested census, for every
+    /// distribution and a range of lengths.
+    #[test]
+    fn queues_honor_distributions(len in 8u32..40) {
+        for dist in Distribution::ALL {
+            let q = queue_with_distribution(dist, len);
+            prop_assert_eq!(q.len() as u32, len);
+            prop_assert_eq!(census(&q), dist.class_counts(len));
+        }
+    }
+
+    /// Classification is total and deterministic: any finite profile
+    /// lands in exactly one class, and M beats MC beats the rest on
+    /// increasing memory bandwidth.
+    #[test]
+    fn classification_total_and_monotone(
+        mb in 0.0f64..200.0,
+        l2 in 0.0f64..300.0,
+        ipc in 0.0f64..2000.0,
+        r in 0.0f64..1.0,
+    ) {
+        let t = Thresholds::paper_gtx480();
+        let p = AppProfile {
+            name: "x".into(),
+            memory_bw: mb,
+            l2_l1_bw: l2,
+            ipc,
+            r,
+            utilization: 0.0,
+            cycles: 1,
+            thread_insts: 1,
+            num_sms: 60,
+        };
+        let c = classify(&p, &t);
+        // Raising MB can only move the class toward M.
+        let mut hi = p.clone();
+        hi.memory_bw = mb + 150.0;
+        let c_hi = classify(&hi, &t);
+        prop_assert!(c_hi <= c, "raising MB moved {c:?} away from M: {c_hi:?}");
+    }
+
+    /// LP-format export/parse round-trips preserve the optimum for
+    /// random bounded integer problems.
+    #[test]
+    fn lp_format_round_trip(
+        obj in prop::collection::vec(-5.0f64..5.0, 2..4),
+        bound in 1.0f64..20.0,
+    ) {
+        use gcs_milp::export::to_lp_string;
+        use gcs_milp::parse::parse_lp;
+        let n = obj.len();
+        let mut p = Problem::maximize(obj);
+        p.add_constraint(vec![1.0; n], Relation::Le, bound);
+        p.set_all_integer(true);
+        let q = parse_lp(&to_lp_string(&p)).expect("round trip parses");
+        let a = p.solve().expect("original solves");
+        let b = q.solve().expect("round-tripped solves");
+        prop_assert!((a.objective - b.objective).abs() < 1e-6,
+            "{} vs {}", a.objective, b.objective);
+    }
+
+    /// LRU cache: after accessing a working set no larger than the
+    /// cache, a second pass hits every line.
+    #[test]
+    fn cache_retains_fitting_working_set(lines in 1u64..32) {
+        let mut c = Cache::new(CacheConfig {
+            bytes: 32 * 128,
+            line_bytes: 128,
+            ways: 4,
+        });
+        for i in 0..lines {
+            c.access(i * 128);
+        }
+        for i in 0..lines {
+            prop_assert_eq!(c.access(i * 128), Access::Hit, "line {} evicted", i);
+        }
+    }
+
+    /// Pattern e-coefficients are antitone in slowdown: uniformly worse
+    /// interference can only lower e.
+    #[test]
+    fn e_antitone_in_slowdown(s1 in 1.0f64..5.0, extra in 0.1f64..5.0) {
+        use gcs_core::interference::InterferenceMatrix;
+        let p = Pattern::new([1, 1, 0, 0]);
+        let low = InterferenceMatrix::uniform(s1);
+        let high = InterferenceMatrix::uniform(s1 + extra);
+        prop_assert!(p.e_coefficient(&low) > p.e_coefficient(&high));
+    }
+
+    /// The build_problem constraint system always admits the FCFS
+    /// solution, so the ILP optimum is at least the FCFS objective.
+    #[test]
+    fn ilp_never_loses_to_any_feasible_grouping(seed in 0u64..500) {
+        // Random e and census; compare ILP optimum against a greedy
+        // feasible point (fill patterns left to right).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        let e: Vec<f64> = (0..10).map(|_| 0.01 + rng()).collect();
+        let census = [2u32, 2, 2, 2];
+        let sol = solve_with_e(census, 2, &e).expect("feasible");
+        // Greedy feasible point: pair same classes: M-M, MC-MC, C-C, A-A.
+        let patterns = enumerate_patterns(2);
+        let same_class: f64 = patterns
+            .iter()
+            .zip(&e)
+            .filter(|(p, _)| p.counts().contains(&2))
+            .map(|(_, v)| v)
+            .sum();
+        prop_assert!(sol.objective >= same_class - 1e-9,
+            "ILP {} below the same-class grouping {}", sol.objective, same_class);
+    }
+}
+
+#[test]
+fn pattern_display_order_is_stable() {
+    let pats = enumerate_patterns(2);
+    assert_eq!(pats[0].to_string(), "M-M");
+    assert_eq!(pats[9].to_string(), "A-A");
+}
+
+#[test]
+fn class_ordering_reflects_memory_pressure() {
+    // AppClass::ALL is ordered M < MC < C < A; the monotone test above
+    // leans on this.
+    assert!(AppClass::M < AppClass::Mc);
+    assert!(AppClass::Mc < AppClass::C);
+    assert!(AppClass::C < AppClass::A);
+}
