@@ -1,63 +1,47 @@
-//! Criterion benchmarks for the simulator substrate: cache probes, warp
+//! Micro-benchmarks for the simulator substrate: cache probes, warp
 //! scheduler picks, and whole-device stepping (simulation speed in
 //! simulated cycles per wall-second is the practical limit on experiment
 //! sizes).
+//!
+//! Runs on the internal `gcs_bench::timing` harness; no external
+//! benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcs_bench::timing::bench;
 use gcs_sim::cache::Cache;
 use gcs_sim::config::{CacheConfig, GpuConfig};
 use gcs_sim::gpu::Gpu;
 use gcs_sim::sched::{WarpSchedPolicy, WarpScheduler};
 use gcs_workloads::{Benchmark, Scale};
 
-fn cache_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/cache");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("probe_1k_streaming", |b| {
-        let mut cache = Cache::new(CacheConfig {
-            bytes: 128 * 1024,
-            line_bytes: 128,
-            ways: 8,
-        });
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..1024 {
-                cache.access(addr);
-                addr = addr.wrapping_add(128);
-            }
-        });
+fn main() {
+    let mut cache = Cache::new(CacheConfig {
+        bytes: 128 * 1024,
+        line_bytes: 128,
+        ways: 8,
     });
-    group.finish();
-}
+    let mut addr = 0u64;
+    bench("sim/cache/probe_1k_streaming", || {
+        for _ in 0..1024 {
+            cache.access(addr);
+            addr = addr.wrapping_add(128);
+        }
+    });
 
-fn scheduler_pick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/sched");
     for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
-        group.bench_function(format!("{policy:?}_pick_48"), |b| {
-            let mut s = WarpScheduler::new(policy);
-            let ready = vec![true; 48];
-            let ages: Vec<u64> = (0..48).collect();
-            b.iter(|| s.pick(std::hint::black_box(&ready), &ages));
+        let mut s = WarpScheduler::new(policy);
+        let ready = vec![true; 48];
+        let ages: Vec<u64> = (0..48).collect();
+        bench(&format!("sim/sched/{policy:?}_pick_48"), || {
+            s.pick(std::hint::black_box(&ready), &ages)
         });
     }
-    group.finish();
-}
 
-fn device_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/device");
-    group.sample_size(10);
-    group.bench_function("test_small_5k_cycles_mixed_pair", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
-            gpu.launch(Benchmark::Blk.kernel(Scale::TEST)).expect("a");
-            gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).expect("b");
-            gpu.partition_even();
-            gpu.run_for(5_000);
-            gpu.cycle()
-        });
+    bench("sim/device/test_small_5k_cycles_mixed_pair", || {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
+        gpu.launch(Benchmark::Blk.kernel(Scale::TEST)).expect("a");
+        gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).expect("b");
+        gpu.partition_even();
+        gpu.run_for(5_000);
+        gpu.cycle()
     });
-    group.finish();
 }
-
-criterion_group!(benches, cache_access, scheduler_pick, device_step);
-criterion_main!(benches);

@@ -1,55 +1,34 @@
-//! Criterion benchmarks for the MILP solver: the grouping ILPs the
+//! Micro-benchmarks for the MILP solver: the grouping ILPs the
 //! scheduler solves online (Eq. 3.3–3.7) and the enumeration oracle.
+//!
+//! Runs on the internal `gcs_bench::timing` harness; no external
+//! benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gcs_bench::timing::bench;
 use gcs_core::ilp::{build_problem, PAPER_APPENDIX_E};
 use gcs_core::interference::InterferenceMatrix;
 use gcs_core::pattern::enumerate_patterns;
 use gcs_milp::enumerate::solve_by_enumeration;
 
-fn grouping_ilp_nc2(c: &mut Criterion) {
-    c.bench_function("ilp/grouping_nc2_appendix_a", |b| {
-        let p = build_problem([2, 5, 2, 5], 2, &PAPER_APPENDIX_E);
-        b.iter_batched(
-            || p.clone(),
-            |p| p.solve().expect("feasible"),
-            BatchSize::SmallInput,
-        );
+fn main() {
+    let nc2 = build_problem([2, 5, 2, 5], 2, &PAPER_APPENDIX_E);
+    bench("ilp/grouping_nc2_appendix_a", || {
+        nc2.clone().solve().expect("feasible")
     });
-}
 
-fn grouping_ilp_nc3(c: &mut Criterion) {
     let m = InterferenceMatrix::synthetic_paper_shape();
     let patterns = enumerate_patterns(3);
     let e: Vec<f64> = patterns.iter().map(|p| p.e_coefficient(&m)).collect();
-    c.bench_function("ilp/grouping_nc3_21apps", |b| {
-        let p = build_problem([6, 6, 3, 6], 3, &e);
-        b.iter_batched(
-            || p.clone(),
-            |p| p.solve().expect("feasible"),
-            BatchSize::SmallInput,
-        );
+    let nc3 = build_problem([6, 6, 3, 6], 3, &e);
+    bench("ilp/grouping_nc3_21apps", || {
+        nc3.clone().solve().expect("feasible")
+    });
+
+    bench("ilp/enumeration_oracle_nc2", || {
+        solve_by_enumeration(&nc2).expect("feasible")
+    });
+
+    bench("pattern/enumerate_nc3", || {
+        enumerate_patterns(std::hint::black_box(3))
     });
 }
-
-fn enumeration_oracle(c: &mut Criterion) {
-    c.bench_function("ilp/enumeration_oracle_nc2", |b| {
-        let p = build_problem([2, 5, 2, 5], 2, &PAPER_APPENDIX_E);
-        b.iter(|| solve_by_enumeration(&p).expect("feasible"));
-    });
-}
-
-fn pattern_enumeration(c: &mut Criterion) {
-    c.bench_function("pattern/enumerate_nc3", |b| {
-        b.iter(|| enumerate_patterns(std::hint::black_box(3)));
-    });
-}
-
-criterion_group!(
-    benches,
-    grouping_ilp_nc2,
-    grouping_ilp_nc3,
-    enumeration_oracle,
-    pattern_enumeration
-);
-criterion_main!(benches);

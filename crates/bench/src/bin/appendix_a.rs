@@ -7,7 +7,7 @@
 //! cargo run --release -p gcs-bench --bin appendix_a
 //! ```
 
-use gcs_bench::{header, scale_from_env};
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_core::ilp::{solve_grouping, solve_with_e, PAPER_APPENDIX_E};
 use gcs_core::interference::InterferenceMatrix;
 use gcs_core::pattern::enumerate_patterns;
@@ -35,8 +35,10 @@ fn main() {
     );
 
     header("same queue with OUR measured interference matrix");
-    let m = InterferenceMatrix::measure_full(&GpuConfig::gtx480(), scale_from_env())
+    let engine = default_engine();
+    let m = InterferenceMatrix::measure_full_with(&engine, &GpuConfig::gtx480(), scale_from_env())
         .expect("interference measurement");
+    println!("[setup] {}", engine.stats());
     print!("{m}");
     let sol = solve_grouping([2, 5, 2, 5], 2, &m).expect("solve");
     println!("objective f = {:.4}", sol.objective);

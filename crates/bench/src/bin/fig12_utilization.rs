@@ -9,20 +9,23 @@
 //! cargo run --release -p gcs-bench --bin fig12_utilization
 //! ```
 
-use gcs_bench::{header, scale_from_env};
-use gcs_core::profile::profile_alone;
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_sim::config::GpuConfig;
 use gcs_workloads::Benchmark;
 
 fn main() {
     let cfg = GpuConfig::gtx480();
     let scale = scale_from_env();
+    let engine = default_engine();
 
     header("Fig 1.2 — max utilization of Rodinia benchmarks");
+    let profiles = engine
+        .profile_suite(&cfg, scale, &Benchmark::ALL)
+        .expect("profiling");
+    println!("[setup] {}", engine.stats());
     println!("{:>6} {:>8} {:>10}", "bench", "util", "bar");
     let mut below_half = 0;
-    for b in Benchmark::ALL {
-        let p = profile_alone(&b.kernel(scale), &cfg).expect("profiling");
+    for (b, p) in Benchmark::ALL.iter().zip(&profiles) {
         let pctg = p.utilization * 100.0;
         if pctg < 50.0 {
             below_half += 1;

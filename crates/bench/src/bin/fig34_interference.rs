@@ -11,7 +11,7 @@
 //! cargo run --release -p gcs-bench --bin fig34_interference
 //! ```
 
-use gcs_bench::{header, scale_from_env};
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_core::classify::AppClass;
 use gcs_core::interference::InterferenceMatrix;
 use gcs_sim::config::GpuConfig;
@@ -19,9 +19,12 @@ use gcs_sim::config::GpuConfig;
 fn main() {
     let cfg = GpuConfig::gtx480();
     let scale = scale_from_env();
+    let engine = default_engine();
 
     header("Fig 3.4 — average application slowdown due to co-execution");
-    let m = InterferenceMatrix::measure_full(&cfg, scale).expect("interference measurement");
+    let m = InterferenceMatrix::measure_full_with(&engine, &cfg, scale)
+        .expect("interference measurement");
+    println!("[setup] {}", engine.stats());
     print!("{m}");
 
     let col_avg = |a: AppClass| -> f64 {

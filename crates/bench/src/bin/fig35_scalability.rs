@@ -12,14 +12,14 @@
 //! cargo run --release -p gcs-bench --bin fig35_scalability
 //! ```
 
-use gcs_bench::{header, scale_from_env};
-use gcs_core::profile::scalability_curve;
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_sim::config::GpuConfig;
 use gcs_workloads::Benchmark;
 
 fn main() {
     let cfg = GpuConfig::gtx480();
     let scale = scale_from_env();
+    let engine = default_engine();
     let counts = [10u32, 15, 20, 25, 30, 60];
     let benches = [
         Benchmark::Bfs2,
@@ -31,17 +31,25 @@ fn main() {
     ];
 
     header("Fig 3.5 — scalability trends (IPC normalized to the 10-SM point)");
+    // Every (benchmark, SM count) point is an independent simulation:
+    // fan the whole grid out at once instead of one curve at a time.
+    let points = engine
+        .run_parallel(benches.len() * counts.len(), |i| {
+            let (b, n) = (benches[i / counts.len()], counts[i % counts.len()]);
+            engine.profile(&cfg, scale, b, n).map(|p| p.ipc)
+        })
+        .expect("scalability profiling");
+    println!("[setup] {}", engine.stats());
     print!("{:>6}", "bench");
     for c in counts {
         print!(" {:>7}", format!("{c} SM"));
     }
     println!();
-    for b in benches {
-        let curve =
-            scalability_curve(&b.kernel(scale), &cfg, &counts).expect("scalability profiling");
-        let base = curve[0].1.max(1e-9);
+    for (bi, b) in benches.iter().enumerate() {
+        let curve = &points[bi * counts.len()..(bi + 1) * counts.len()];
+        let base = curve[0].max(1e-9);
         print!("{:>6}", b.name());
-        for (_, ipc) in &curve {
+        for ipc in curve {
             print!(" {:>7.2}", ipc / base);
         }
         println!();

@@ -6,27 +6,33 @@
 //! cargo run --release -p gcs-bench --bin fig36_ipc_cores
 //! ```
 
-use gcs_bench::{header, scale_from_env};
-use gcs_core::profile::scalability_curve;
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_sim::config::GpuConfig;
 use gcs_workloads::Benchmark;
 
 fn main() {
     let cfg = GpuConfig::gtx480();
     let scale = scale_from_env();
+    let engine = default_engine();
     let counts = [10u32, 15, 20, 30];
 
     header("Fig 3.6 — IPC of benchmarks with different numbers of cores");
+    // 14 benchmarks x 4 core counts, all independent: one flat sweep.
+    let points = engine
+        .run_parallel(Benchmark::ALL.len() * counts.len(), |i| {
+            let (b, n) = (Benchmark::ALL[i / counts.len()], counts[i % counts.len()]);
+            engine.profile(&cfg, scale, b, n).map(|p| p.ipc)
+        })
+        .expect("scalability profiling");
+    println!("[setup] {}", engine.stats());
     print!("{:>6}", "bench");
     for c in counts {
         print!(" {:>9}", format!("{c} cores"));
     }
     println!("  (thread IPC)");
-    for b in Benchmark::ALL {
-        let curve =
-            scalability_curve(&b.kernel(scale), &cfg, &counts).expect("scalability profiling");
+    for (bi, b) in Benchmark::ALL.iter().enumerate() {
         print!("{:>6}", b.name());
-        for (_, ipc) in &curve {
+        for ipc in &points[bi * counts.len()..(bi + 1) * counts.len()] {
             print!(" {:>9.1}", ipc);
         }
         println!();

@@ -6,24 +6,21 @@
 //! cargo run --release -p gcs-bench --bin fig_table32
 //! ```
 
-use gcs_bench::{header, scale_from_env};
+use gcs_bench::{default_engine, header, scale_from_env};
 use gcs_core::classify::{classify_suite, AppClass};
-use gcs_core::profile::profile_alone;
 use gcs_sim::config::GpuConfig;
 use gcs_workloads::{Benchmark, PAPER_PROFILES};
 
 fn main() {
     let cfg = GpuConfig::gtx480();
     let scale = scale_from_env();
+    let engine = default_engine();
 
     header("Table 3.2 — classification of Rodinia benchmarks (measured vs paper)");
-    let mut profiles = Vec::new();
-    for b in Benchmark::ALL {
-        let p = profile_alone(&b.kernel(scale), &cfg).unwrap_or_else(|e| {
-            panic!("profiling {b} failed: {e}");
-        });
-        profiles.push(p);
-    }
+    let profiles = engine
+        .profile_suite(&cfg, scale, &Benchmark::ALL)
+        .unwrap_or_else(|e| panic!("profiling failed: {e}"));
+    println!("[setup] {}", engine.stats());
     let (thresholds, classes) = classify_suite(&cfg, &profiles);
 
     println!(

@@ -12,9 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use gcs_core::runner::{Pipeline, RunConfig};
+use gcs_core::sweep::SweepEngine;
 use gcs_sim::config::GpuConfig;
 use gcs_workloads::{Benchmark, Scale};
+
+pub mod timing;
 
 /// Resolves the workload scale from `GCS_SCALE` (default: `small`).
 ///
@@ -39,16 +44,29 @@ pub fn pct(ratio: f64) -> String {
     format!("{:+.1}%", (ratio - 1.0) * 100.0)
 }
 
+/// Directory where the sweep engine persists memoized simulation
+/// results (one small JSON file per profile/co-run job).
+pub const SWEEP_CACHE_DIR: &str = "results/cache";
+
+/// A machine-sized [`SweepEngine`] persisting its memo cache under
+/// [`SWEEP_CACHE_DIR`] — the engine every harness binary should share.
+/// Delete the cache directory after changing the simulator or the
+/// workload models.
+pub fn default_engine() -> SweepEngine {
+    SweepEngine::auto().with_cache_dir(SWEEP_CACHE_DIR)
+}
+
 /// Builds the full measurement pipeline (suite profiling + interference
 /// matrix) for `concurrency` co-running applications on the GTX 480
 /// model at the environment-selected scale.
 ///
 /// This is the expensive, shared prologue of every chapter-4 figure;
-/// each binary builds it once and reuses it across policies. The
-/// 105-co-run interference matrix is cached on disk
-/// (`results/.matrix-cache-*`) keyed by the workload scale, so repeated
-/// harness invocations skip the sweep; delete the cache after changing
-/// the simulator or the workload models.
+/// each binary builds it once and reuses it across policies. The sweep
+/// (14 alone profiles + 105 pair co-runs) fans out across the machine's
+/// cores and every simulation is memoized under [`SWEEP_CACHE_DIR`]
+/// keyed by device config, scale and workload, so repeated harness
+/// invocations re-simulate nothing — the printed [`gcs_core::SweepStats`] line
+/// shows exactly how many jobs came from the cache.
 ///
 /// # Panics
 ///
@@ -60,59 +78,16 @@ pub fn build_pipeline(concurrency: u32) -> Pipeline {
         scale: scale_from_env(),
         concurrency,
     };
-    let cache = matrix_cache_path(&cfg.scale);
-    if let Some(matrix) = load_matrix(&cache) {
-        println!("[setup] interference matrix loaded from {cache:?}; profiling suite ...");
-        return Pipeline::with_matrix(cfg, matrix).expect("pipeline construction");
-    }
+    let engine = Arc::new(default_engine());
     println!(
-        "[setup] profiling suite + measuring interference (scale {:?}) ...",
-        cfg.scale
+        "[setup] profiling suite + measuring interference (scale {:?}; {} threads; cache {}) ...",
+        cfg.scale,
+        engine.threads(),
+        SWEEP_CACHE_DIR,
     );
-    let pipeline = Pipeline::new(cfg).expect("pipeline construction");
-    store_matrix(&cache, pipeline.matrix());
+    let pipeline = Pipeline::new_with_engine(cfg, engine).expect("pipeline construction");
+    println!("[setup] {}", pipeline.sweep_stats());
     pipeline
-}
-
-fn matrix_cache_path(scale: &Scale) -> std::path::PathBuf {
-    std::path::PathBuf::from(format!(
-        "results/.matrix-cache-i{}-g{}.txt",
-        scale.iters, scale.grid
-    ))
-}
-
-/// Parses a cached matrix: 16 whitespace-separated floats, row-major.
-fn load_matrix(path: &std::path::Path) -> Option<gcs_core::InterferenceMatrix> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let vals: Vec<f64> = text
-        .split_whitespace()
-        .map(str::parse)
-        .collect::<Result<_, _>>()
-        .ok()?;
-    if vals.len() != 16 || vals.iter().any(|v| !v.is_finite() || *v < 1.0) {
-        return None;
-    }
-    let mut s = [[1.0f64; 4]; 4];
-    for (i, v) in vals.iter().enumerate() {
-        s[i / 4][i % 4] = *v;
-    }
-    Some(gcs_core::InterferenceMatrix::from_entries(s))
-}
-
-fn store_matrix(path: &std::path::Path, m: &gcs_core::InterferenceMatrix) {
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let mut text = String::new();
-    for row in m.entries() {
-        for v in row {
-            text.push_str(&format!("{v:.6} "));
-        }
-        text.push('\n');
-    }
-    if std::fs::write(path, text).is_err() {
-        eprintln!("warning: could not cache interference matrix at {path:?}");
-    }
 }
 
 /// The 12-application queue of §4.2 (three-application execution):

@@ -1,0 +1,58 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The `benches/` targets use this instead of an external benchmarking
+//! crate so the workspace builds offline. The methodology is simple:
+//! one calibration pass sizes the iteration count to ~200 ms, then
+//! three timed samples report the mean and best per-iteration time.
+//! That is enough to spot order-of-magnitude regressions in the solver
+//! and simulator hot paths; it makes no statistical claims beyond that.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured sample.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Timed samples per benchmark.
+const SAMPLES: u32 = 3;
+
+/// Runs `f` repeatedly and prints the per-iteration mean and minimum.
+///
+/// The return value is passed through [`black_box`] so the work cannot
+/// be optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t.elapsed() / iters;
+        total += per_iter;
+        best = best.min(per_iter);
+    }
+    let mean = total / SAMPLES;
+    println!("{name:<44} {iters:>8} iters/sample   mean {mean:>12.3?}   min {best:>12.3?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns() {
+        // Smoke test: the harness must terminate quickly on a trivial
+        // closure and must actually invoke it.
+        let mut calls = 0u64;
+        bench("timing/self_test", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+    }
+}

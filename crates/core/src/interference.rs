@@ -15,12 +15,10 @@
 //! reproduced by measurement on the simulator.
 
 use gcs_sim::config::GpuConfig;
-use gcs_sim::gpu::Gpu;
-use gcs_sim::kernel::KernelDesc;
 use gcs_workloads::{Benchmark, Scale};
 
 use crate::classify::AppClass;
-use crate::profile::PROFILE_MAX_CYCLES;
+use crate::sweep::{CorunMode, SweepEngine};
 use crate::CoreError;
 
 /// The 4×4 class slowdown matrix. `slowdown(i, j)` ≥ 1 means class `i`
@@ -83,39 +81,80 @@ impl InterferenceMatrix {
     ///
     /// This is 14 alone runs plus 105 co-runs — the expensive, faithful
     /// variant. [`InterferenceMatrix::measure`] is the cheap
-    /// one-representative-per-class approximation.
+    /// one-representative-per-class approximation. Both are thin
+    /// wrappers over the engine-backed variants with a sequential
+    /// [`SweepEngine`]; pass your own engine to parallelize and memoize
+    /// the sweep.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures.
     pub fn measure_full(cfg: &GpuConfig, scale: Scale) -> Result<Self, CoreError> {
-        let suite: Vec<(Benchmark, KernelDesc)> = Benchmark::ALL
-            .iter()
-            .map(|b| (*b, b.kernel(scale)))
-            .collect();
+        Self::measure_full_with(&SweepEngine::sequential(), cfg, scale)
+    }
 
-        let mut alone = Vec::with_capacity(suite.len());
-        for (_, k) in &suite {
-            let mut gpu = Gpu::new(cfg.clone())?;
-            let app = gpu.launch(k.clone())?;
-            gpu.partition_even();
-            gpu.run(PROFILE_MAX_CYCLES)?;
-            alone.push(gpu.stats().app(app).runtime_cycles().max(1));
-        }
+    /// [`InterferenceMatrix::measure_full`] through a caller-provided
+    /// [`SweepEngine`]: the 14 alone runs fan out as one parallel batch,
+    /// the 105 pair co-runs as a second, and every job is memoized under
+    /// the engine's cache. Results are bit-identical to the sequential
+    /// path at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_full_with(
+        engine: &SweepEngine,
+        cfg: &GpuConfig,
+        scale: Scale,
+    ) -> Result<Self, CoreError> {
+        Self::measure_suite_with(engine, cfg, scale, &Benchmark::ALL)
+    }
 
-        let mut sum = [[0.0f64; AppClass::COUNT]; AppClass::COUNT];
-        let mut n = [[0u32; AppClass::COUNT]; AppClass::COUNT];
+    /// The §3.2.2 procedure over an arbitrary benchmark subset: all
+    /// alone runs, then all unordered pairs, averaged into class cells.
+    /// The determinism suite uses small subsets to keep runtimes down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_suite_with(
+        engine: &SweepEngine,
+        cfg: &GpuConfig,
+        scale: Scale,
+        suite: &[Benchmark],
+    ) -> Result<Self, CoreError> {
+        // Batch 1: alone runs on the whole device. An alone profile and
+        // an even partition of a single app assign the identical SM set,
+        // so this shares cache entries with suite profiling.
+        let profiles = engine.profile_suite(cfg, scale, suite)?;
+        let alone: Vec<u64> = profiles.iter().map(|p| p.cycles.max(1)).collect();
+
+        // Batch 2: every unordered pair on an even split.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for i in 0..suite.len() {
             for j in i..suite.len() {
-                let (si, sj) =
-                    measure_pair(cfg, &suite[i].1, &suite[j].1, alone[i], alone[j])?;
-                let ci = crate::queues::paper_class(suite[i].0).index();
-                let cj = crate::queues::paper_class(suite[j].0).index();
-                sum[ci][cj] += si;
-                n[ci][cj] += 1;
-                sum[cj][ci] += sj;
-                n[cj][ci] += 1;
+                pairs.push((i, j));
             }
+        }
+        let jobs: Vec<(Vec<Benchmark>, CorunMode)> = pairs
+            .iter()
+            .map(|&(i, j)| (vec![suite[i], suite[j]], CorunMode::Even))
+            .collect();
+        let outcomes = engine.corun_batch(cfg, scale, &jobs)?;
+
+        // Accumulate in job order — the same order the sequential nested
+        // loop used, so the averages are bit-identical.
+        let mut sum = [[0.0f64; AppClass::COUNT]; AppClass::COUNT];
+        let mut n = [[0u32; AppClass::COUNT]; AppClass::COUNT];
+        for (&(i, j), out) in pairs.iter().zip(&outcomes) {
+            let si = (out.cycles[0] as f64 / alone[i] as f64).max(1.0);
+            let sj = (out.cycles[1] as f64 / alone[j] as f64).max(1.0);
+            let ci = crate::queues::paper_class(suite[i]).index();
+            let cj = crate::queues::paper_class(suite[j]).index();
+            sum[ci][cj] += si;
+            n[ci][cj] += 1;
+            sum[cj][ci] += sj;
+            n[cj][ci] += 1;
         }
         let mut s = [[1.0f64; AppClass::COUNT]; AppClass::COUNT];
         for i in 0..AppClass::COUNT {
@@ -136,63 +175,56 @@ impl InterferenceMatrix {
     ///
     /// Propagates simulator failures.
     pub fn measure(cfg: &GpuConfig, scale: Scale) -> Result<Self, CoreError> {
+        Self::measure_with(&SweepEngine::sequential(), cfg, scale)
+    }
+
+    /// [`InterferenceMatrix::measure`] through a caller-provided engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_with(
+        engine: &SweepEngine,
+        cfg: &GpuConfig,
+        scale: Scale,
+    ) -> Result<Self, CoreError> {
         let reps: [Benchmark; AppClass::COUNT] = [
             Benchmark::Blk,  // M
             Benchmark::Fft,  // MC
             Benchmark::Spmv, // C
             Benchmark::Sad,  // A
         ];
-        let kernels: Vec<KernelDesc> = reps.iter().map(|b| b.kernel(scale)).collect();
 
         // Alone runtimes on the full device.
-        let mut alone = [0u64; AppClass::COUNT];
-        for (i, k) in kernels.iter().enumerate() {
-            let mut gpu = Gpu::new(cfg.clone())?;
-            let app = gpu.launch(k.clone())?;
-            gpu.partition_even();
-            gpu.run(PROFILE_MAX_CYCLES)?;
-            alone[i] = gpu.stats().app(app).runtime_cycles().max(1);
-        }
+        let profiles = engine.profile_suite(cfg, scale, &reps)?;
+        let alone: Vec<u64> = profiles.iter().map(|p| p.cycles.max(1)).collect();
 
-        let mut s = [[1.0f64; AppClass::COUNT]; AppClass::COUNT];
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for i in 0..AppClass::COUNT {
             for j in i..AppClass::COUNT {
-                let (si, sj) = measure_pair(cfg, &kernels[i], &kernels[j], alone[i], alone[j])?;
-                if j == i {
-                    // Same-class pair: both runs sample the same cell.
-                    s[i][i] = 0.5 * (si + sj);
-                } else {
-                    s[i][j] = si;
-                    s[j][i] = sj;
-                }
+                pairs.push((i, j));
+            }
+        }
+        let jobs: Vec<(Vec<Benchmark>, CorunMode)> = pairs
+            .iter()
+            .map(|&(i, j)| (vec![reps[i], reps[j]], CorunMode::Even))
+            .collect();
+        let outcomes = engine.corun_batch(cfg, scale, &jobs)?;
+
+        let mut s = [[1.0f64; AppClass::COUNT]; AppClass::COUNT];
+        for (&(i, j), out) in pairs.iter().zip(&outcomes) {
+            let si = (out.cycles[0] as f64 / alone[i] as f64).max(1.0);
+            let sj = (out.cycles[1] as f64 / alone[j] as f64).max(1.0);
+            if j == i {
+                // Same-class pair: both runs sample the same cell.
+                s[i][i] = 0.5 * (si + sj);
+            } else {
+                s[i][j] = si;
+                s[j][i] = sj;
             }
         }
         Ok(Self::from_entries(s))
     }
-}
-
-/// Co-runs `a` and `b` on an even split; returns `(slowdown_a, slowdown_b)`
-/// relative to the provided alone runtimes.
-fn measure_pair(
-    cfg: &GpuConfig,
-    a: &KernelDesc,
-    b: &KernelDesc,
-    alone_a: u64,
-    alone_b: u64,
-) -> Result<(f64, f64), CoreError> {
-    let mut gpu = Gpu::new(cfg.clone())?;
-    // Co-running two instances of the same kernel needs distinct names
-    // only for reporting; address spaces are separated by app slot.
-    let ia = gpu.launch(a.clone())?;
-    let ib = gpu.launch(b.clone())?;
-    gpu.partition_even();
-    gpu.run(PROFILE_MAX_CYCLES)?;
-    let ca = gpu.stats().app(ia).runtime_cycles().max(1);
-    let cb = gpu.stats().app(ib).runtime_cycles().max(1);
-    Ok((
-        (ca as f64 / alone_a as f64).max(1.0),
-        (cb as f64 / alone_b as f64).max(1.0),
-    ))
 }
 
 impl std::fmt::Display for InterferenceMatrix {

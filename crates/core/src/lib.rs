@@ -21,7 +21,10 @@
 //!
 //! [`runner`] executes whole application queues under every policy the
 //! evaluation compares (Even / FCFS / Profile-based / ILP / ILP+SMRA) and
-//! is what the figure-regeneration harness in `gcs-bench` drives.
+//! is what the figure-regeneration harness in `gcs-bench` drives. All
+//! measurement runs flow through [`sweep`], which fans the independent
+//! simulations across worker threads (deterministically — results are
+//! keyed by job index) and memoizes them in memory and on disk.
 //!
 //! ## Quick start
 //!
@@ -54,10 +57,12 @@ pub mod profile;
 pub mod queues;
 pub mod runner;
 pub mod smra;
+pub mod sweep;
 
 pub use classify::{classify, classify_suite, AppClass, Thresholds};
 pub use interference::InterferenceMatrix;
 pub use profile::AppProfile;
+pub use sweep::{SweepEngine, SweepStats};
 
 use std::error::Error;
 use std::fmt;

@@ -7,6 +7,14 @@
 //! [`profile_with_sms`] restricts the device to a subset of SMs, which
 //! is what the scalability studies (Fig 3.5/3.6) and the Profile-based
 //! baseline \[17\] consume.
+//!
+//! These functions run one simulation, synchronously. Anything that
+//! profiles more than a single kernel should go through
+//! [`crate::sweep::SweepEngine`], which fans independent profiling jobs
+//! across cores and memoizes every result on disk — the [`Pipeline`]
+//! (`crate::runner`) and the harness binaries all do.
+//!
+//! [`Pipeline`]: crate::runner::Pipeline
 
 use gcs_sim::config::GpuConfig;
 use gcs_sim::gpu::{Gpu, SimError};

@@ -19,17 +19,17 @@
 //! serves every policy — exactly how the thesis' flow works.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gcs_sim::config::GpuConfig;
-use gcs_sim::gpu::Gpu;
-use gcs_sim::kernel::AppId;
 use gcs_workloads::{Benchmark, Scale};
 
 use crate::classify::{classify_suite, AppClass, Thresholds};
 use crate::ilp::solve_grouping;
 use crate::interference::InterferenceMatrix;
-use crate::profile::{profile_alone, scalability_curve, AppProfile, PROFILE_MAX_CYCLES};
-use crate::smra::{SmraController, SmraParams};
+use crate::profile::AppProfile;
+use crate::smra::SmraParams;
+use crate::sweep::{CorunMode, SweepEngine, SweepStats};
 use crate::CoreError;
 
 /// How groups are formed from the queue.
@@ -144,6 +144,7 @@ impl QueueReport {
 #[derive(Debug)]
 pub struct Pipeline {
     cfg: RunConfig,
+    engine: Arc<SweepEngine>,
     profiles: BTreeMap<Benchmark, AppProfile>,
     classes: BTreeMap<Benchmark, AppClass>,
     thresholds: Thresholds,
@@ -158,12 +159,29 @@ impl Pipeline {
     /// runs + 105 co-runs). For a cheaper approximation, combine
     /// [`InterferenceMatrix::measure`] with [`Pipeline::with_matrix`].
     ///
+    /// All simulations flow through a machine-sized [`SweepEngine`]
+    /// (in-memory memoization, no disk cache); use
+    /// [`Pipeline::new_with_engine`] to share an engine or persist its
+    /// cache.
+    ///
     /// # Errors
     ///
     /// Propagates simulator failures.
     pub fn new(cfg: RunConfig) -> Result<Self, CoreError> {
-        let matrix = InterferenceMatrix::measure_full(&cfg.gpu, cfg.scale)?;
-        Self::with_matrix(cfg, matrix)
+        Self::new_with_engine(cfg, Arc::new(SweepEngine::auto()))
+    }
+
+    /// [`Pipeline::new`] through a caller-provided engine: the sweep is
+    /// parallelized across the engine's workers and every simulation is
+    /// memoized (and, with a cache directory, persisted), so repeated
+    /// pipeline constructions skip re-simulating entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn new_with_engine(cfg: RunConfig, engine: Arc<SweepEngine>) -> Result<Self, CoreError> {
+        let matrix = InterferenceMatrix::measure_full_with(&engine, &cfg.gpu, cfg.scale)?;
+        Self::with_matrix_and_engine(cfg, matrix, engine)
     }
 
     /// Like [`Pipeline::new`] but with a caller-provided interference
@@ -174,18 +192,30 @@ impl Pipeline {
     ///
     /// Propagates simulator failures from the alone-run profiling.
     pub fn with_matrix(cfg: RunConfig, matrix: InterferenceMatrix) -> Result<Self, CoreError> {
-        let mut profiles = BTreeMap::new();
-        for b in Benchmark::ALL {
-            profiles.insert(b, profile_alone(&b.kernel(cfg.scale), &cfg.gpu)?);
-        }
-        let ordered: Vec<AppProfile> = Benchmark::ALL
+        Self::with_matrix_and_engine(cfg, matrix, Arc::new(SweepEngine::auto()))
+    }
+
+    /// [`Pipeline::with_matrix`] through a caller-provided engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from the alone-run profiling.
+    pub fn with_matrix_and_engine(
+        cfg: RunConfig,
+        matrix: InterferenceMatrix,
+        engine: Arc<SweepEngine>,
+    ) -> Result<Self, CoreError> {
+        let ordered = engine.profile_suite(&cfg.gpu, cfg.scale, &Benchmark::ALL)?;
+        let profiles: BTreeMap<Benchmark, AppProfile> = Benchmark::ALL
             .iter()
-            .map(|b| profiles[b].clone())
+            .copied()
+            .zip(ordered.iter().cloned())
             .collect();
         let (thresholds, class_list) = classify_suite(&cfg.gpu, &ordered);
         let classes = Benchmark::ALL.iter().copied().zip(class_list).collect();
         Ok(Pipeline {
             cfg,
+            engine,
             profiles,
             classes,
             thresholds,
@@ -197,6 +227,18 @@ impl Pipeline {
     /// The run configuration.
     pub fn config(&self) -> &RunConfig {
         &self.cfg
+    }
+
+    /// The sweep engine executing and memoizing this pipeline's
+    /// simulations.
+    pub fn engine(&self) -> &Arc<SweepEngine> {
+        &self.engine
+    }
+
+    /// Snapshot of the engine's counters (jobs simulated vs. cached,
+    /// estimated parallel speedup); the bench harness prints this.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.engine.stats()
     }
 
     /// Measured alone-run profile of `bench`.
@@ -280,7 +322,9 @@ impl Pipeline {
         Ok(groups)
     }
 
-    /// Executes one group under `alloc`.
+    /// Executes one group under `alloc`. The co-run goes through the
+    /// sweep engine, so identical groups (same benchmarks, policy,
+    /// scale, device) are served from the memo cache.
     ///
     /// # Errors
     ///
@@ -291,48 +335,34 @@ impl Pipeline {
         alloc: AllocationPolicy,
     ) -> Result<GroupResult, CoreError> {
         assert!(!group.is_empty(), "empty group");
-        let mut gpu = Gpu::new(self.cfg.gpu.clone())?;
-        let mut ids: Vec<AppId> = Vec::with_capacity(group.len());
-        for &b in group {
-            ids.push(gpu.launch(b.kernel(self.cfg.scale))?);
-        }
-
-        match alloc {
-            AllocationPolicy::Even => {
-                gpu.partition_even();
-                gpu.run(PROFILE_MAX_CYCLES)?;
-            }
-            AllocationPolicy::ProfileBased => {
-                let counts = self.profile_based_split(group)?;
-                gpu.partition_counts(&counts);
-                gpu.run(PROFILE_MAX_CYCLES)?;
-            }
-            AllocationPolicy::Smra => {
-                gpu.partition_even();
-                let params =
-                    SmraParams::for_device(self.cfg.gpu.num_sms, group.len() as u32);
-                let mut ctl = SmraController::new(params, ids.clone(), &gpu);
-                ctl.run_to_completion(&mut gpu, PROFILE_MAX_CYCLES)?;
-            }
-        }
+        let mode = match alloc {
+            AllocationPolicy::Even => CorunMode::Even,
+            AllocationPolicy::ProfileBased => CorunMode::Counts(self.profile_based_split(group)?),
+            AllocationPolicy::Smra => CorunMode::Smra(SmraParams::for_device(
+                self.cfg.gpu.num_sms,
+                group.len() as u32,
+            )),
+        };
+        let out = self
+            .engine
+            .corun(&self.cfg.gpu, self.cfg.scale, group, &mode)?;
 
         let apps = group
             .iter()
-            .zip(&ids)
-            .map(|(&bench, &id)| {
-                let s = gpu.stats().app(id);
-                let cycles = s.runtime_cycles().max(1);
+            .enumerate()
+            .map(|(i, &bench)| {
+                let cycles = out.cycles[i];
                 AppRun {
                     bench,
                     cycles,
-                    thread_insts: s.thread_insts,
-                    ipc: s.thread_insts as f64 / cycles as f64,
+                    thread_insts: out.thread_insts[i],
+                    ipc: out.thread_insts[i] as f64 / cycles as f64,
                 }
             })
             .collect();
         Ok(GroupResult {
             apps,
-            makespan: gpu.cycle(),
+            makespan: out.makespan,
         })
     }
 
@@ -430,7 +460,17 @@ impl Pipeline {
             .collect();
         grid.sort_unstable();
         grid.dedup();
-        let curve = scalability_curve(&bench.kernel(self.cfg.scale), &self.cfg.gpu, &grid)?;
+        // One memoized profile job per grid point, fanned across the
+        // engine's workers.
+        let engine = Arc::clone(&self.engine);
+        let gpu = self.cfg.gpu.clone();
+        let scale = self.cfg.scale;
+        let curve: Vec<(u32, f64)> = engine
+            .run_parallel(grid.len(), |i| {
+                engine
+                    .profile(&gpu, scale, bench, grid[i])
+                    .map(|p| (grid[i], p.ipc))
+            })?;
         self.curves.insert(bench, curve);
         Ok(())
     }

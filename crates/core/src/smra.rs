@@ -341,6 +341,78 @@ mod tests {
     }
 
     #[test]
+    fn sm_total_is_conserved_across_every_decision() {
+        let cfg = GpuConfig::test_small();
+        let total = cfg.num_sms;
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        assert_eq!(gpu.sm_count(a) + gpu.sm_count(b), total);
+        let params = SmraParams {
+            tc: 1_000,
+            nr: 1,
+            r_min: 1,
+            ..SmraParams::for_device(8, 2)
+        };
+        let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+        let mut decisions = 0u32;
+        while !gpu.all_done() {
+            gpu.run_for(params.tc);
+            if !gpu.all_done() {
+                ctl.decide(&mut gpu);
+                decisions += 1;
+                if !gpu.app_finished(a) && !gpu.app_finished(b) {
+                    assert_eq!(
+                        gpu.sm_count(a) + gpu.sm_count(b),
+                        total,
+                        "SMs leaked/duplicated after decision {decisions}: {:?}",
+                        ctl.actions().last()
+                    );
+                }
+            }
+            assert!(gpu.cycle() < 80_000_000, "runaway");
+        }
+        assert!(decisions > 0, "co-run finished before any decision");
+    }
+
+    #[test]
+    fn throughput_drop_forces_a_revert_and_restores_the_donor() {
+        // Deterministic revert: record a fake previous move together
+        // with an unreachable previous throughput, so the very next
+        // window must trigger Algorithm 1's `T < Tp` branch and hand the
+        // SM back to its donor.
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        let params = SmraParams {
+            tc: 1_000,
+            nr: 1,
+            r_min: 1,
+            ..SmraParams::for_device(8, 2)
+        };
+        let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+        gpu.run_for(params.tc);
+        let moved = gpu.transfer_sms(a, b, 1);
+        assert_eq!(moved, 1, "device refused the staged move");
+        let donor_after_move = gpu.sm_count(a);
+        ctl.last_move = Some((a, b, 1));
+        ctl.prev_throughput = Some(f64::MAX);
+        assert_eq!(ctl.decide(&mut gpu), SmraAction::Revert);
+        assert_eq!(
+            gpu.sm_count(a),
+            donor_after_move + 1,
+            "revert did not restore the donor's SM"
+        );
+        assert!(
+            ctl.last_move.is_none(),
+            "revert must clear the pending move so it cannot re-revert"
+        );
+    }
+
+    #[test]
     fn decide_holds_with_one_running_app() {
         let cfg = GpuConfig::test_small();
         let mut gpu = Gpu::new(cfg).unwrap();

@@ -1,0 +1,1032 @@
+//! Parallel co-run sweep engine with memoized simulation results.
+//!
+//! Every experiment in this repository reduces to a bag of *independent*
+//! device simulations: alone-run profiles, pair co-runs for the
+//! interference matrix, and whole-group co-runs under an allocation
+//! policy. Each job is a pure function of `(GpuConfig, Scale, benches,
+//! mode)` — the simulator seeds its per-SM RNGs from the SM index alone
+//! (see `gcs_sim::rng`), so a job's outcome does not depend on wall
+//! clock, thread scheduling, or what else ran before it.
+//!
+//! [`SweepEngine`] exploits both properties:
+//!
+//! * **Parallelism** — [`SweepEngine::run_parallel`] fans jobs across a
+//!   fixed thread pool (`std::thread::scope`, no external runtime) and
+//!   stores each result in a slot keyed by its job index, so the
+//!   assembled output is bit-identical to the sequential path at any
+//!   thread count.
+//! * **Memoization** — every typed job is keyed by an FNV-1a
+//!   fingerprint of its full canonical description. Results live in an
+//!   in-process map and, when a cache directory is configured, as one
+//!   small JSON file per entry under e.g. `results/cache/`. Floats are
+//!   stored as IEEE-754 bit patterns so round-trips are exact; a
+//!   corrupted or truncated file is treated as a miss, never an error.
+//!
+//! [`SweepStats`] counts what happened (jobs simulated vs. served from
+//! cache, peak in-flight parallelism, simulated cycles, estimated
+//! speedup) and is printed by the `gcs-bench` harness.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_sim::kernel::AppId;
+use gcs_workloads::{Benchmark, Scale};
+
+use crate::profile::{profile_with_sms, AppProfile, PROFILE_MAX_CYCLES};
+use crate::smra::{SmraController, SmraParams};
+use crate::CoreError;
+
+/// How a co-run job divides SMs among its group members.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorunMode {
+    /// Equal split ([`Gpu::partition_even`]).
+    Even,
+    /// Explicit per-app SM counts ([`Gpu::partition_counts`]).
+    Counts(Vec<u32>),
+    /// Even start plus the Algorithm 1 dynamic controller.
+    Smra(SmraParams),
+}
+
+/// Outcome of one co-run job, in launch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupOutcome {
+    /// Per-app runtime cycles (first dispatch to retirement, ≥ 1).
+    pub cycles: Vec<u64>,
+    /// Per-app thread instructions retired.
+    pub thread_insts: Vec<u64>,
+    /// Device cycles until every member finished.
+    pub makespan: u64,
+}
+
+/// Snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Typed jobs requested (cached + simulated).
+    pub jobs_total: u64,
+    /// Jobs that actually ran on the simulator.
+    pub jobs_simulated: u64,
+    /// Jobs served from the in-process or on-disk cache.
+    pub jobs_cached: u64,
+    /// Peak number of jobs executing concurrently.
+    pub max_in_flight: usize,
+    /// Simulated device cycles across all simulated jobs.
+    pub sim_cycles: u64,
+    /// Sum of per-job wall times (what a sequential sweep would cost).
+    pub serial_nanos: u64,
+    /// Wall time spent inside parallel batches.
+    pub wall_nanos: u64,
+}
+
+impl SweepStats {
+    /// Estimated parallel speedup: summed per-job time over batch wall
+    /// time. 1.0 when nothing ran in a batch yet.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 1.0;
+        }
+        self.serial_nanos as f64 / self.wall_nanos as f64
+    }
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep: {} jobs ({} simulated, {} cached), peak {} in flight, \
+             {:.2e} simulated cycles, est. speedup {:.2}x ({:.2}s serial vs {:.2}s wall)",
+            self.jobs_total,
+            self.jobs_simulated,
+            self.jobs_cached,
+            self.max_in_flight,
+            self.sim_cycles as f64,
+            self.speedup(),
+            self.serial_nanos as f64 / 1e9,
+            self.wall_nanos as f64 / 1e9,
+        )
+    }
+}
+
+/// A memoized cache entry: the full canonical key (stored to detect
+/// fingerprint collisions) plus a flat field map. Floats are encoded as
+/// `to_bits()` so decode is exact.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: String,
+    fields: Vec<(String, u64)>,
+}
+
+/// The parallel sweep executor + memoization cache.
+///
+/// Cheap to share: wrap it in an [`Arc`] and hand clones to every
+/// consumer so they pool cache hits and statistics.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, Entry>>,
+    jobs_total: AtomicU64,
+    jobs_simulated: AtomicU64,
+    jobs_cached: AtomicU64,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+    sim_cycles: AtomicU64,
+    serial_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SweepEngine {
+    /// An engine running jobs on `threads` worker threads (clamped to at
+    /// least 1), with no disk cache.
+    pub fn new(threads: usize) -> Self {
+        SweepEngine {
+            threads: threads.max(1),
+            cache_dir: None,
+            mem: Mutex::new(HashMap::new()),
+            jobs_total: AtomicU64::new(0),
+            jobs_simulated: AtomicU64::new(0),
+            jobs_cached: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+            sim_cycles: AtomicU64::new(0),
+            serial_nanos: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Strictly sequential engine (one worker, no disk cache) — the
+    /// reference the determinism tests compare against.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Persists (and reads back) memoized results under `dir`, one JSON
+    /// file per entry. The directory is created lazily on first store.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured on-disk cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            jobs_total: self.jobs_total.load(Ordering::Relaxed),
+            jobs_simulated: self.jobs_simulated.load(Ordering::Relaxed),
+            jobs_cached: self.jobs_cached.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            serial_nanos: self.serial_nanos.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel executor
+    // ------------------------------------------------------------------
+
+    /// Runs `jobs` independent closures `f(0) .. f(jobs - 1)` across the
+    /// worker pool and returns their results **in job-index order** —
+    /// the output is identical at every thread count, so callers may
+    /// treat a parallel sweep as a drop-in for the sequential loop.
+    ///
+    /// Worker threads pull indices from a shared counter; a slot per job
+    /// collects the result. On failure the error of the *lowest* failing
+    /// job index is returned (also deterministic).
+    ///
+    /// # Errors
+    ///
+    /// The first (by job index) error any job produced.
+    pub fn run_parallel<T, F>(&self, jobs: usize, f: F) -> Result<Vec<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, CoreError> + Sync,
+    {
+        if jobs == 0 {
+            return Ok(Vec::new());
+        }
+        let slots: Vec<Mutex<Option<Result<T, CoreError>>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let wall = Instant::now();
+
+        let worker = |_worker_id: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            let live = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            self.max_in_flight.fetch_max(live, Ordering::Relaxed);
+            let t = Instant::now();
+            let r = f(i);
+            let spent = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.serial_nanos.fetch_add(spent, Ordering::Relaxed);
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            *slots[i].lock().expect("job slot poisoned") = Some(r);
+        };
+
+        let workers = self.threads.min(jobs);
+        if workers <= 1 {
+            worker(0);
+        } else {
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    s.spawn(move || worker(w));
+                }
+            });
+        }
+        let spent = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.wall_nanos.fetch_add(spent, Ordering::Relaxed);
+
+        let mut out = Vec::with_capacity(jobs);
+        for slot in slots {
+            let r = slot
+                .into_inner()
+                .expect("job slot poisoned")
+                .expect("every job index was claimed");
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Typed, memoized jobs
+    // ------------------------------------------------------------------
+
+    /// Alone-run profile of `bench` on the first `num_sms` SMs, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn profile(
+        &self,
+        cfg: &GpuConfig,
+        scale: Scale,
+        bench: Benchmark,
+        num_sms: u32,
+    ) -> Result<AppProfile, CoreError> {
+        let key = profile_key(cfg, scale, bench, num_sms);
+        let mut p = self.cached(&key, decode_profile, || {
+            let p = profile_with_sms(&bench.kernel(scale), cfg, num_sms)?;
+            self.sim_cycles.fetch_add(p.cycles, Ordering::Relaxed);
+            Ok((encode_profile(&p), p))
+        })?;
+        // The flat u64 cache drops the kernel name; the key pins the
+        // benchmark, so restore it losslessly here.
+        p.name = bench.name().to_string();
+        Ok(p)
+    }
+
+    /// Full-device alone profiles for `suite`, one parallel batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by suite index) profiling failure.
+    pub fn profile_suite(
+        &self,
+        cfg: &GpuConfig,
+        scale: Scale,
+        suite: &[Benchmark],
+    ) -> Result<Vec<AppProfile>, CoreError> {
+        self.run_parallel(suite.len(), |i| self.profile(cfg, scale, suite[i], cfg.num_sms))
+    }
+
+    /// Co-runs `group` under `mode`, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty group.
+    pub fn corun(
+        &self,
+        cfg: &GpuConfig,
+        scale: Scale,
+        group: &[Benchmark],
+        mode: &CorunMode,
+    ) -> Result<GroupOutcome, CoreError> {
+        assert!(!group.is_empty(), "empty co-run group");
+        let key = corun_key(cfg, scale, group, mode);
+        let n = group.len();
+        self.cached(
+            &key,
+            |fields| decode_group(fields, n),
+            || {
+                let out = simulate_corun(cfg, scale, group, mode)?;
+                self.sim_cycles.fetch_add(out.makespan, Ordering::Relaxed);
+                Ok((encode_group(&out), out))
+            },
+        )
+    }
+
+    /// Runs a batch of co-run jobs in parallel, results in job order.
+    ///
+    /// # Errors
+    ///
+    /// The first (by job index) failure.
+    pub fn corun_batch(
+        &self,
+        cfg: &GpuConfig,
+        scale: Scale,
+        jobs: &[(Vec<Benchmark>, CorunMode)],
+    ) -> Result<Vec<GroupOutcome>, CoreError> {
+        self.run_parallel(jobs.len(), |i| self.corun(cfg, scale, &jobs[i].0, &jobs[i].1))
+    }
+
+    // ------------------------------------------------------------------
+    // Cache plumbing
+    // ------------------------------------------------------------------
+
+    fn cached<T>(
+        &self,
+        key: &str,
+        decode: impl Fn(&[(String, u64)]) -> Option<T>,
+        simulate: impl FnOnce() -> Result<(Vec<(String, u64)>, T), CoreError>,
+    ) -> Result<T, CoreError> {
+        self.jobs_total.fetch_add(1, Ordering::Relaxed);
+        let hash = fnv1a(key);
+        if let Some(fields) = self.lookup(hash, key) {
+            if let Some(v) = decode(&fields) {
+                self.jobs_cached.fetch_add(1, Ordering::Relaxed);
+                return Ok(v);
+            }
+        }
+        let (fields, v) = simulate()?;
+        self.jobs_simulated.fetch_add(1, Ordering::Relaxed);
+        self.store(hash, key, fields);
+        Ok(v)
+    }
+
+    /// In-process map first, then disk. Both paths verify the stored
+    /// full key against the requested one, so an FNV collision degrades
+    /// to a miss instead of returning a wrong result.
+    fn lookup(&self, hash: u64, key: &str) -> Option<Vec<(String, u64)>> {
+        {
+            let mem = self.mem.lock().expect("cache poisoned");
+            if let Some(e) = mem.get(&hash) {
+                if e.key == key {
+                    return Some(e.fields.clone());
+                }
+                return None;
+            }
+        }
+        let dir = self.cache_dir.as_ref()?;
+        let text = std::fs::read_to_string(entry_path(dir, hash)).ok()?;
+        let (stored_key, fields) = parse_entry(&text)?;
+        if stored_key != key {
+            return None;
+        }
+        self.mem.lock().expect("cache poisoned").insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                fields: fields.clone(),
+            },
+        );
+        Some(fields)
+    }
+
+    fn store(&self, hash: u64, key: &str, fields: Vec<(String, u64)>) {
+        if let Some(dir) = &self.cache_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let text = render_entry(key, &fields);
+            if std::fs::write(entry_path(dir, hash), text).is_err() {
+                eprintln!("warning: could not persist sweep cache entry {hash:016x}");
+            }
+        }
+        self.mem.lock().expect("cache poisoned").insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                fields,
+            },
+        );
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Shared-engine convenience alias used across the crate.
+pub type SharedEngine = Arc<SweepEngine>;
+
+// ----------------------------------------------------------------------
+// Simulation bodies
+// ----------------------------------------------------------------------
+
+/// Runs one co-run group on a fresh device. This is the single code
+/// path behind interference pairs, policy co-runs and queue groups; it
+/// reproduces `Pipeline::run_group`'s original semantics exactly.
+fn simulate_corun(
+    cfg: &GpuConfig,
+    scale: Scale,
+    group: &[Benchmark],
+    mode: &CorunMode,
+) -> Result<GroupOutcome, CoreError> {
+    let mut gpu = Gpu::new(cfg.clone())?;
+    let mut ids: Vec<AppId> = Vec::with_capacity(group.len());
+    for &b in group {
+        ids.push(gpu.launch(b.kernel(scale))?);
+    }
+    match mode {
+        CorunMode::Even => {
+            gpu.partition_even();
+            gpu.run(PROFILE_MAX_CYCLES)?;
+        }
+        CorunMode::Counts(counts) => {
+            gpu.partition_counts(counts);
+            gpu.run(PROFILE_MAX_CYCLES)?;
+        }
+        CorunMode::Smra(params) => {
+            gpu.partition_even();
+            let mut ctl = SmraController::new(*params, ids.clone(), &gpu);
+            ctl.run_to_completion(&mut gpu, PROFILE_MAX_CYCLES)?;
+        }
+    }
+    let mut cycles = Vec::with_capacity(ids.len());
+    let mut thread_insts = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        let s = gpu.stats().app(id);
+        cycles.push(s.runtime_cycles().max(1));
+        thread_insts.push(s.thread_insts);
+    }
+    Ok(GroupOutcome {
+        cycles,
+        thread_insts,
+        makespan: gpu.cycle(),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Fingerprinting
+// ----------------------------------------------------------------------
+
+/// FNV-1a 64-bit.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical description of every [`GpuConfig`] field. Changing any
+/// knob — cache geometry, DRAM timing, scheduler — changes the key and
+/// therefore misses the cache.
+fn config_key(cfg: &GpuConfig) -> String {
+    format!(
+        "sms={},mhz={},issue={},warps={},blocks={},sched={:?},\
+         l1={}/{}/{},l2={}/{}/{},mc={},l1lat={},icnt={},ports={},l2lat={},\
+         dram={}/{}/{}/{}/{}/{}/{}/{},reassign={}",
+        cfg.num_sms,
+        cfg.core_mhz,
+        cfg.issue_per_sm,
+        cfg.max_warps_per_sm,
+        cfg.max_blocks_per_sm,
+        cfg.sched,
+        cfg.l1.bytes,
+        cfg.l1.line_bytes,
+        cfg.l1.ways,
+        cfg.l2_slice.bytes,
+        cfg.l2_slice.line_bytes,
+        cfg.l2_slice.ways,
+        cfg.num_mem_ctrls,
+        cfg.l1_hit_lat,
+        cfg.icnt_lat,
+        cfg.l2_ports,
+        cfg.l2_lat,
+        cfg.dram.banks,
+        cfg.dram.row_bytes,
+        cfg.dram.t_row_hit,
+        cfg.dram.t_row_miss,
+        cfg.dram.t_rc,
+        cfg.dram.t_burst,
+        cfg.dram.queue_depth,
+        cfg.dram.fr_fcfs,
+        cfg.reassign_on_finish,
+    )
+}
+
+/// Scale as exact bit patterns (scales are `f64` multipliers).
+fn scale_key(scale: Scale) -> String {
+    format!("i:{:016x},g:{:016x}", scale.iters.to_bits(), scale.grid.to_bits())
+}
+
+fn profile_key(cfg: &GpuConfig, scale: Scale, bench: Benchmark, num_sms: u32) -> String {
+    format!(
+        "v1|profile|{}|sms={}|{}|{}",
+        bench.name(),
+        num_sms,
+        scale_key(scale),
+        config_key(cfg)
+    )
+}
+
+fn mode_key(mode: &CorunMode) -> String {
+    match mode {
+        CorunMode::Even => "even".to_string(),
+        CorunMode::Counts(c) => {
+            let parts: Vec<String> = c.iter().map(u32::to_string).collect();
+            format!("counts:{}", parts.join("-"))
+        }
+        CorunMode::Smra(p) => format!(
+            "smra:tc={},ipc={:016x},bw={:016x},nr={},rmin={}",
+            p.tc,
+            p.ipc_thr_frac.to_bits(),
+            p.bw_thr_frac.to_bits(),
+            p.nr,
+            p.r_min
+        ),
+    }
+}
+
+fn corun_key(cfg: &GpuConfig, scale: Scale, group: &[Benchmark], mode: &CorunMode) -> String {
+    let names: Vec<&str> = group.iter().map(Benchmark::name).collect();
+    format!(
+        "v1|corun|{}|{}|{}|{}",
+        names.join("+"),
+        mode_key(mode),
+        scale_key(scale),
+        config_key(cfg)
+    )
+}
+
+// ----------------------------------------------------------------------
+// Entry encode/decode (floats as bit patterns: exact round trips)
+// ----------------------------------------------------------------------
+
+fn encode_profile(p: &AppProfile) -> Vec<(String, u64)> {
+    vec![
+        ("memory_bw".into(), p.memory_bw.to_bits()),
+        ("l2_l1_bw".into(), p.l2_l1_bw.to_bits()),
+        ("ipc".into(), p.ipc.to_bits()),
+        ("r".into(), p.r.to_bits()),
+        ("utilization".into(), p.utilization.to_bits()),
+        ("cycles".into(), p.cycles),
+        ("thread_insts".into(), p.thread_insts),
+        ("num_sms".into(), u64::from(p.num_sms)),
+    ]
+}
+
+/// Reconstructs a profile from the flat u64 fields. The kernel name is
+/// not stored; [`SweepEngine::profile`] restores it from the benchmark
+/// its cache key pins.
+fn decode_profile(fields: &[(String, u64)]) -> Option<AppProfile> {
+    let get = |n: &str| field(fields, n);
+    Some(AppProfile {
+        name: String::new(),
+        memory_bw: f64::from_bits(get("memory_bw")?),
+        l2_l1_bw: f64::from_bits(get("l2_l1_bw")?),
+        ipc: f64::from_bits(get("ipc")?),
+        r: f64::from_bits(get("r")?),
+        utilization: f64::from_bits(get("utilization")?),
+        cycles: get("cycles")?,
+        thread_insts: get("thread_insts")?,
+        num_sms: u32::try_from(get("num_sms")?).ok()?,
+    })
+}
+
+fn encode_group(out: &GroupOutcome) -> Vec<(String, u64)> {
+    let mut fields = vec![
+        ("n".into(), out.cycles.len() as u64),
+        ("makespan".into(), out.makespan),
+    ];
+    for (i, c) in out.cycles.iter().enumerate() {
+        fields.push((format!("c{i}"), *c));
+    }
+    for (i, t) in out.thread_insts.iter().enumerate() {
+        fields.push((format!("t{i}"), *t));
+    }
+    fields
+}
+
+fn decode_group(fields: &[(String, u64)], expect_n: usize) -> Option<GroupOutcome> {
+    let n = usize::try_from(field(fields, "n")?).ok()?;
+    if n != expect_n {
+        return None;
+    }
+    let makespan = field(fields, "makespan")?;
+    let mut cycles = Vec::with_capacity(n);
+    let mut thread_insts = Vec::with_capacity(n);
+    for i in 0..n {
+        cycles.push(field(fields, &format!("c{i}"))?);
+        thread_insts.push(field(fields, &format!("t{i}"))?);
+    }
+    Some(GroupOutcome {
+        cycles,
+        thread_insts,
+        makespan,
+    })
+}
+
+fn field(fields: &[(String, u64)], name: &str) -> Option<u64> {
+    fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+// ----------------------------------------------------------------------
+// On-disk JSON (hand-rolled; no serde)
+// ----------------------------------------------------------------------
+
+fn entry_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.json"))
+}
+
+fn render_entry(key: &str, fields: &[(String, u64)]) -> String {
+    let mut s = String::with_capacity(key.len() + fields.len() * 24 + 32);
+    s.push_str("{\"key\":\"");
+    for c in key.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            _ => s.push(c),
+        }
+    }
+    s.push_str("\",\"fields\":{");
+    for (i, (name, val)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(name);
+        s.push_str("\":");
+        s.push_str(&val.to_string());
+    }
+    s.push_str("}}\n");
+    s
+}
+
+/// Parses exactly the shape [`render_entry`] writes. Anything off —
+/// truncation, garbage, wrong types — returns `None`, which the engine
+/// treats as a cache miss.
+fn parse_entry(text: &str) -> Option<(String, Vec<(String, u64)>)> {
+    // The trailing newline is the end-of-entry marker `render_entry`
+    // writes last; a file missing it was truncated mid-write.
+    let rest = text.strip_suffix('\n')?.trim().strip_prefix('{')?;
+    let rest = rest.strip_prefix("\"key\":\"")?;
+    let mut key = String::new();
+    let mut escaped = false;
+    let mut end = None;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            key.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => {
+                end = Some(i);
+                break;
+            }
+            _ => key.push(c),
+        }
+    }
+    let rest = &rest[end? + 1..];
+    let mut rest = rest.strip_prefix(",\"fields\":{")?;
+    let mut fields = Vec::new();
+    loop {
+        if let Some(tail) = rest.strip_prefix('}') {
+            if tail.trim() != "}" {
+                return None;
+            }
+            break;
+        }
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+        rest = rest.strip_prefix('"')?;
+        let q = rest.find('"')?;
+        let name = &rest[..q];
+        rest = rest[q + 1..].strip_prefix(':')?;
+        let dend = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if dend == 0 {
+            return None;
+        }
+        let val: u64 = rest[..dend].parse().ok()?;
+        fields.push((name.to_string(), val));
+        rest = &rest[dend..];
+    }
+    Some((key, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// A unique, self-cleaning temp directory per test.
+    struct TempCache(PathBuf);
+
+    impl TempCache {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "gcs-sweep-test-{}-{tag}-{n}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempCache(dir)
+        }
+    }
+
+    impl Drop for TempCache {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::test_small()
+    }
+
+    // ---- executor ----------------------------------------------------
+
+    #[test]
+    fn run_parallel_preserves_job_order() {
+        for threads in [1, 2, 8] {
+            let e = SweepEngine::new(threads);
+            let out = e.run_parallel(17, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_parallel_handles_empty_batch() {
+        let e = SweepEngine::new(4);
+        let out: Vec<u32> = e.run_parallel(0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_parallel_reports_lowest_failing_index() {
+        let e = SweepEngine::new(4);
+        let r: Result<Vec<u32>, _> = e.run_parallel(10, |i| {
+            if i % 2 == 1 {
+                Err(CoreError::BadQueue(format!("job {i}")))
+            } else {
+                Ok(0)
+            }
+        });
+        match r {
+            Err(CoreError::BadQueue(msg)) => assert_eq!(msg, "job 1"),
+            other => panic!("expected deterministic error, got {other:?}"),
+        }
+    }
+
+    // ---- fingerprints ------------------------------------------------
+
+    #[test]
+    fn fingerprint_is_stable_for_identical_inputs() {
+        let a = profile_key(&cfg(), Scale::TEST, Benchmark::Lud, 8);
+        let b = profile_key(&cfg(), Scale::TEST, Benchmark::Lud, 8);
+        assert_eq!(a, b);
+        assert_eq!(fnv1a(&a), fnv1a(&b));
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_dimension() {
+        let base = profile_key(&cfg(), Scale::TEST, Benchmark::Lud, 8);
+        // Benchmark, SM count, scale.
+        assert_ne!(base, profile_key(&cfg(), Scale::TEST, Benchmark::Blk, 8));
+        assert_ne!(base, profile_key(&cfg(), Scale::TEST, Benchmark::Lud, 4));
+        assert_ne!(base, profile_key(&cfg(), Scale::SMALL, Benchmark::Lud, 8));
+        // Any GpuConfig knob.
+        let mut c = cfg();
+        c.l2_lat += 1;
+        assert_ne!(base, profile_key(&c, Scale::TEST, Benchmark::Lud, 8));
+        let mut c = cfg();
+        c.dram.fr_fcfs = false;
+        assert_ne!(base, profile_key(&c, Scale::TEST, Benchmark::Lud, 8));
+        let mut c = cfg();
+        c.l1.ways *= 2;
+        assert_ne!(base, profile_key(&c, Scale::TEST, Benchmark::Lud, 8));
+    }
+
+    #[test]
+    fn corun_key_distinguishes_modes_and_members() {
+        let g = [Benchmark::Lud, Benchmark::Sad];
+        let even = corun_key(&cfg(), Scale::TEST, &g, &CorunMode::Even);
+        let counts = corun_key(&cfg(), Scale::TEST, &g, &CorunMode::Counts(vec![4, 4]));
+        let smra = corun_key(
+            &cfg(),
+            Scale::TEST,
+            &g,
+            &CorunMode::Smra(SmraParams::for_device(8, 2)),
+        );
+        assert_ne!(even, counts);
+        assert_ne!(even, smra);
+        assert_ne!(counts, smra);
+        let swapped = [Benchmark::Sad, Benchmark::Lud];
+        assert_ne!(even, corun_key(&cfg(), Scale::TEST, &swapped, &CorunMode::Even));
+    }
+
+    // ---- JSON round trip ---------------------------------------------
+
+    #[test]
+    fn entry_round_trips_exactly() {
+        let fields = vec![
+            ("ipc".to_string(), 0.123_456_789_f64.to_bits()),
+            ("cycles".to_string(), u64::MAX),
+            ("n".to_string(), 0),
+        ];
+        let key = "v1|profile|LUD|sms=8|weird \"quote\" and \\slash";
+        let text = render_entry(key, &fields);
+        let (k, f) = parse_entry(&text).expect("round trip");
+        assert_eq!(k, key);
+        assert_eq!(f, fields);
+        assert_eq!(f64::from_bits(f[0].1), 0.123_456_789);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_truncation() {
+        assert!(parse_entry("").is_none());
+        assert!(parse_entry("not json at all").is_none());
+        assert!(parse_entry("{\"key\":\"x\",\"fields\":{\"a\":12").is_none());
+        let good = render_entry("k", &[("a".into(), 7)]);
+        for cut in 1..good.len() {
+            // No truncated prefix may parse successfully.
+            if let Some((k, _)) = parse_entry(&good[..cut]) {
+                panic!("truncated entry parsed at {cut}: key {k:?}");
+            }
+        }
+        assert!(parse_entry(&good).is_some());
+    }
+
+    // ---- memoization -------------------------------------------------
+
+    #[test]
+    fn second_profile_call_hits_the_cache() {
+        let e = SweepEngine::sequential();
+        let p1 = e.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let p2 = e.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        assert_eq!(p1, p2);
+        let s = e.stats();
+        assert_eq!(s.jobs_total, 2);
+        assert_eq!(s.jobs_simulated, 1);
+        assert_eq!(s.jobs_cached, 1);
+    }
+
+    #[test]
+    fn changed_config_field_misses_the_cache() {
+        let e = SweepEngine::sequential();
+        e.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let mut c = cfg();
+        c.l2_lat += 1;
+        e.profile(&c, Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let s = e.stats();
+        assert_eq!(s.jobs_simulated, 2, "config change must re-simulate");
+        assert_eq!(s.jobs_cached, 0);
+    }
+
+    #[test]
+    fn cached_profile_matches_direct_measurement_exactly() {
+        let e = SweepEngine::sequential();
+        let direct = profile_with_sms(&Benchmark::Blk.kernel(Scale::TEST), &cfg(), 8).unwrap();
+        let first = e.profile(&cfg(), Scale::TEST, Benchmark::Blk, 8).unwrap();
+        let cached = e.profile(&cfg(), Scale::TEST, Benchmark::Blk, 8).unwrap();
+        for p in [&first, &cached] {
+            assert_eq!(p.memory_bw.to_bits(), direct.memory_bw.to_bits());
+            assert_eq!(p.l2_l1_bw.to_bits(), direct.l2_l1_bw.to_bits());
+            assert_eq!(p.ipc.to_bits(), direct.ipc.to_bits());
+            assert_eq!(p.r.to_bits(), direct.r.to_bits());
+            assert_eq!(p.cycles, direct.cycles);
+            assert_eq!(p.thread_insts, direct.thread_insts);
+        }
+    }
+
+    #[test]
+    fn disk_cache_survives_engine_restart() {
+        let tmp = TempCache::new("restart");
+        let warm = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        let p1 = warm.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        assert_eq!(warm.stats().jobs_simulated, 1);
+
+        let cold = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        let p2 = cold.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        let s = cold.stats();
+        assert_eq!(s.jobs_simulated, 0, "warm disk cache must skip simulation");
+        assert_eq!(s.jobs_cached, 1);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn corrupted_cache_file_is_a_miss_not_an_error() {
+        let tmp = TempCache::new("corrupt");
+        let warm = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        warm.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+
+        // Corrupt every entry: garbage in one run, truncation in another.
+        for (i, f) in std::fs::read_dir(&tmp.0).unwrap().enumerate() {
+            let path = f.unwrap().path();
+            if i % 2 == 0 {
+                std::fs::write(&path, "{ totally not the format }").unwrap();
+            } else {
+                let text = std::fs::read_to_string(&path).unwrap();
+                std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            }
+        }
+
+        let cold = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        let p = cold.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        assert!(p.ipc > 0.0);
+        let s = cold.stats();
+        assert_eq!(s.jobs_cached, 0, "corrupted entry must not count as a hit");
+        assert_eq!(s.jobs_simulated, 1);
+        // And the re-simulation must repair the entry on disk.
+        let repaired = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        repaired.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        assert_eq!(repaired.stats().jobs_cached, 1);
+    }
+
+    #[test]
+    fn warm_cache_runs_zero_new_simulations() {
+        let tmp = TempCache::new("warm");
+        let suite = [Benchmark::Blk, Benchmark::Sad, Benchmark::Lud];
+        let jobs: Vec<(Vec<Benchmark>, CorunMode)> = vec![
+            (vec![Benchmark::Blk, Benchmark::Sad], CorunMode::Even),
+            (vec![Benchmark::Lud, Benchmark::Sad], CorunMode::Counts(vec![6, 2])),
+        ];
+
+        let warm = SweepEngine::new(2).with_cache_dir(&tmp.0);
+        let profiles = warm.profile_suite(&cfg(), Scale::TEST, &suite).unwrap();
+        let outcomes = warm.corun_batch(&cfg(), Scale::TEST, &jobs).unwrap();
+        assert_eq!(warm.stats().jobs_simulated, 5);
+
+        let cold = SweepEngine::new(2).with_cache_dir(&tmp.0);
+        let profiles2 = cold.profile_suite(&cfg(), Scale::TEST, &suite).unwrap();
+        let outcomes2 = cold.corun_batch(&cfg(), Scale::TEST, &jobs).unwrap();
+        let s = cold.stats();
+        assert_eq!(s.jobs_simulated, 0, "every job must come from the cache");
+        assert_eq!(s.jobs_cached, s.jobs_total);
+        assert_eq!(profiles, profiles2);
+        assert_eq!(outcomes, outcomes2);
+    }
+
+    // ---- co-run semantics --------------------------------------------
+
+    #[test]
+    fn corun_even_matches_a_direct_device_run() {
+        let e = SweepEngine::sequential();
+        let out = e
+            .corun(
+                &cfg(),
+                Scale::TEST,
+                &[Benchmark::Lud, Benchmark::Sad],
+                &CorunMode::Even,
+            )
+            .unwrap();
+
+        let mut gpu = Gpu::new(cfg()).unwrap();
+        let a = gpu.launch(Benchmark::Lud.kernel(Scale::TEST)).unwrap();
+        let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).unwrap();
+        gpu.partition_even();
+        gpu.run(PROFILE_MAX_CYCLES).unwrap();
+
+        assert_eq!(out.makespan, gpu.cycle());
+        assert_eq!(out.cycles[0], gpu.stats().app(a).runtime_cycles().max(1));
+        assert_eq!(out.cycles[1], gpu.stats().app(b).runtime_cycles().max(1));
+        assert_eq!(out.thread_insts[0], gpu.stats().app(a).thread_insts);
+        assert_eq!(out.thread_insts[1], gpu.stats().app(b).thread_insts);
+    }
+
+    #[test]
+    fn stats_display_mentions_cache_counts() {
+        let e = SweepEngine::sequential();
+        e.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        e.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let shown = e.stats().to_string();
+        assert!(shown.contains("2 jobs"), "{shown}");
+        assert!(shown.contains("1 simulated"), "{shown}");
+        assert!(shown.contains("1 cached"), "{shown}");
+    }
+}

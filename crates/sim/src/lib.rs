@@ -56,6 +56,7 @@ pub mod config;
 pub mod gpu;
 pub mod kernel;
 pub mod memsys;
+pub mod rng;
 pub mod sched;
 pub mod sm;
 pub mod stats;

@@ -4,13 +4,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use crate::cache::{Access, Cache};
 use crate::config::GpuConfig;
 use crate::kernel::{AppId, KernelDesc, Op, PatternId};
 use crate::memsys::{MemRequest, MemSys};
+use crate::rng::SimRng;
 use crate::sched::WarpScheduler;
 use crate::stats::SimStats;
 use crate::warp::{bump_counter, generate_addresses, Warp};
@@ -43,7 +41,7 @@ pub struct Sm {
     blocks: Vec<ResidentBlock>,
     l1: Cache,
     sched: WarpScheduler,
-    rng: SmallRng,
+    rng: SimRng,
     age_seq: u64,
     free_slots: u32,
     /// Scratch buffer for generated addresses (avoids per-issue allocation).
@@ -65,7 +63,7 @@ impl Sm {
             blocks: Vec::with_capacity(cfg.max_blocks_per_sm as usize),
             l1: Cache::new(cfg.l1),
             sched: WarpScheduler::new(cfg.sched),
-            rng: SmallRng::seed_from_u64(0x9E37_79B9 ^ u64::from(id)),
+            rng: SimRng::seed_from_u64(0x9E37_79B9 ^ u64::from(id)),
             age_seq: 0,
             free_slots: cfg.max_warps_per_sm,
             addr_buf: Vec::with_capacity(32),
@@ -173,6 +171,7 @@ impl Sm {
 
     /// Issues up to `cfg.issue_per_sm` instructions. Returns the number
     /// of retired warps (so the caller can track block/app completion).
+    #[allow(clippy::too_many_arguments)]
     pub fn issue(
         &mut self,
         now: u64,

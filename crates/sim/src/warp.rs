@@ -1,9 +1,7 @@
 //! Warp execution state and address generation.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use crate::kernel::{AccessPattern, KernelDesc, PatternKind};
+use crate::rng::SimRng;
 
 /// Maximum access patterns a kernel may declare (keeps per-warp state
 /// inline and allocation-free).
@@ -82,7 +80,7 @@ pub fn generate_addresses(
     global_warp: u64,
     total_warps: u64,
     line_bytes: u64,
-    rng: &mut SmallRng,
+    rng: &mut SimRng,
     out: &mut Vec<u64>,
 ) {
     let base = app_base + ((pattern_idx as u64) << 36);
@@ -111,7 +109,7 @@ pub fn generate_addresses(
         }
         PatternKind::Random => {
             for _ in 0..n {
-                let line = rng.gen_range(0..ws_lines);
+                let line = rng.gen_range(ws_lines);
                 out.push(base + line * line_bytes);
             }
         }
@@ -154,10 +152,9 @@ pub fn check_pattern_limit(kernel: &KernelDesc) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(42)
     }
 
     #[test]

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace.
+#
+# The whole pipeline runs without network access: the workspace has no
+# external dependencies (no registry, no index update), so this script
+# works on an air-gapped machine exactly as it does in CI.
+#
+#   scripts/ci.sh           full gate: build, tests, widened property
+#                           tests, clippy (deny warnings)
+#   scripts/ci.sh --quick   tier-1 only: release build + default tests
+#
+# Any failing step aborts the run (set -e) with the step name printed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Never let cargo try the network: everything must resolve from the
+# local workspace alone.
+export CARGO_NET_OFFLINE=true
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "build (release)"
+cargo build --release
+
+step "test (default features)"
+cargo test -q
+
+if [ "$QUICK" -eq 1 ]; then
+    echo
+    echo "quick gate passed (tier-1: release build + default tests)"
+    exit 0
+fi
+
+step "test (widened property-test case counts)"
+cargo test -q --features proptest-tests
+
+# No rustfmt gate: tables like PAPER_PROFILES keep deliberate
+# one-row-per-line layouts that rustfmt would destroy.
+step "clippy (deny warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint step"
+fi
+
+echo
+echo "full gate passed"

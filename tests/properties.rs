@@ -1,6 +1,10 @@
 //! Property-based tests over the core invariants: the MILP solver
 //! against the enumeration oracle, pattern combinatorics, queue
 //! construction, classification, and cache behaviour.
+//!
+//! The harness is deterministic and dependency-free: cases are drawn
+//! from [`gcs_sim::rng::SimRng`] with fixed seeds (see
+//! `tests/README.md`). `--features proptest-tests` widens the sweep.
 
 use gcs_core::classify::{classify, AppClass, Thresholds};
 use gcs_core::ilp::solve_with_e;
@@ -11,155 +15,186 @@ use gcs_milp::enumerate::solve_by_enumeration;
 use gcs_milp::{Problem, Relation};
 use gcs_sim::cache::{Access, Cache};
 use gcs_sim::config::CacheConfig;
-use proptest::prelude::*;
+use gcs_sim::rng::SimRng;
 
-proptest! {
-    /// Branch & bound must agree with exhaustive enumeration on random
-    /// small all-integer maximization problems.
-    #[test]
-    fn milp_matches_enumeration(
-        obj in prop::collection::vec(0.0f64..10.0, 2..4),
-        rows in prop::collection::vec(
-            (prop::collection::vec(0.0f64..5.0, 4), 1.0f64..20.0),
-            1..4
-        ),
-    ) {
-        let n = obj.len();
+/// Cases per property.
+const CASES: usize = if cfg!(feature = "proptest-tests") { 200 } else { 48 };
+
+fn uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+/// Branch & bound must agree with exhaustive enumeration on random
+/// small all-integer maximization problems.
+#[test]
+fn milp_matches_enumeration() {
+    let mut rng = SimRng::seed_from_u64(11);
+    for case in 0..CASES {
+        let n = 2 + rng.gen_range(2) as usize;
+        let obj: Vec<f64> = (0..n).map(|_| uniform(&mut rng, 0.0, 10.0)).collect();
         let mut p = Problem::maximize(obj);
         // Guarantee a bounding row so enumeration has finite bounds.
         p.add_constraint(vec![1.0; n], Relation::Le, 12.0);
-        for (coeffs, rhs) in rows {
-            p.add_constraint(coeffs[..n].to_vec(), Relation::Le, rhs);
+        for _ in 0..1 + rng.gen_range(3) {
+            let coeffs: Vec<f64> = (0..n).map(|_| uniform(&mut rng, 0.0, 5.0)).collect();
+            let rhs = uniform(&mut rng, 1.0, 20.0);
+            p.add_constraint(coeffs, Relation::Le, rhs);
         }
         p.set_all_integer(true);
         let bb = p.solve().expect("bounded feasible problem");
         let oracle = solve_by_enumeration(&p).expect("oracle");
-        prop_assert!((bb.objective - oracle.objective).abs() < 1e-6,
-            "b&b {} vs oracle {}", bb.objective, oracle.objective);
-        prop_assert!(p.is_feasible(&bb.values));
+        assert!(
+            (bb.objective - oracle.objective).abs() < 1e-6,
+            "case {case}: b&b {} vs oracle {}",
+            bb.objective,
+            oracle.objective
+        );
+        assert!(p.is_feasible(&bb.values), "case {case}");
     }
+}
 
-    /// The grouping ILP always covers the census exactly, for any
-    /// feasible class census divisible by the concurrency.
-    #[test]
-    fn grouping_covers_census(
-        groups_of in prop::collection::vec(0u32..4, 4),
-        nc in 2u32..4,
-    ) {
-        // Build a census guaranteed divisible by nc.
+/// The grouping ILP always covers the census exactly, for any feasible
+/// class census divisible by the concurrency.
+#[test]
+fn grouping_covers_census() {
+    let mut rng = SimRng::seed_from_u64(12);
+    let mut ran = 0;
+    while ran < CASES {
+        let nc = 2 + rng.gen_range(2) as u32;
         let mut counts = [0u32; 4];
         let mut total = 0;
-        for (i, g) in groups_of.iter().enumerate() {
-            counts[i] = g * nc;
-            total += counts[i];
+        for c in &mut counts {
+            *c = rng.gen_range(4) as u32 * nc;
+            total += *c;
         }
-        prop_assume!(total > 0);
+        if total == 0 {
+            continue;
+        }
+        ran += 1;
         let patterns = enumerate_patterns(nc);
         let e: Vec<f64> = (0..patterns.len()).map(|i| 1.0 + i as f64 * 0.1).collect();
         let sol = solve_with_e(counts, nc, &e).expect("feasible");
         let mut used = [0u32; 4];
         for g in sol.groups() {
-            prop_assert_eq!(g.len(), nc as usize);
+            assert_eq!(g.len(), nc as usize);
             for c in g {
                 used[c.index()] += 1;
             }
         }
-        prop_assert_eq!(used, counts);
+        assert_eq!(used, counts);
     }
+}
 
-    /// Pattern enumeration size always matches the closed form Eq. 3.2,
-    /// every pattern sums to NC, and patterns are unique.
-    #[test]
-    fn pattern_enumeration_invariants(nc in 1u32..6) {
+/// Pattern enumeration size always matches the closed form Eq. 3.2,
+/// every pattern sums to NC, and patterns are unique.
+#[test]
+fn pattern_enumeration_invariants() {
+    for nc in 1u32..6 {
         let pats = enumerate_patterns(nc);
-        prop_assert_eq!(pats.len() as u64, num_patterns(4, nc));
+        assert_eq!(pats.len() as u64, num_patterns(4, nc));
         for p in &pats {
-            prop_assert_eq!(p.size(), nc);
+            assert_eq!(p.size(), nc);
         }
         for (i, a) in pats.iter().enumerate() {
             for b in &pats[i + 1..] {
-                prop_assert_ne!(a, b);
+                assert_ne!(a, b);
             }
         }
     }
+}
 
-    /// The ILP objective is invariant under scaling all e by a positive
-    /// constant (the argmax cannot change, so the chosen multiplicities
-    /// achieve the scaled optimum).
-    #[test]
-    fn ilp_scale_invariance(k in 0.1f64..10.0) {
-        let e: Vec<f64> = (1..=10).map(|i| f64::from(i) * 0.01).collect();
+/// The ILP objective is invariant under scaling all e by a positive
+/// constant (the argmax cannot change, so the chosen multiplicities
+/// achieve the scaled optimum).
+#[test]
+fn ilp_scale_invariance() {
+    let mut rng = SimRng::seed_from_u64(13);
+    let e: Vec<f64> = (1..=10).map(|i| f64::from(i) * 0.01).collect();
+    let a = solve_with_e([2, 5, 2, 5], 2, &e).expect("base");
+    for _ in 0..CASES.min(24) {
+        let k = uniform(&mut rng, 0.1, 10.0);
         let scaled: Vec<f64> = e.iter().map(|v| v * k).collect();
-        let a = solve_with_e([2, 5, 2, 5], 2, &e).expect("base");
         let b = solve_with_e([2, 5, 2, 5], 2, &scaled).expect("scaled");
-        prop_assert!((a.objective * k - b.objective).abs() < 1e-6);
+        assert!(
+            (a.objective * k - b.objective).abs() < 1e-6,
+            "k={k}: {} vs {}",
+            a.objective * k,
+            b.objective
+        );
     }
+}
 
-    /// Queue construction always matches the requested census, for every
-    /// distribution and a range of lengths.
-    #[test]
-    fn queues_honor_distributions(len in 8u32..40) {
+/// Queue construction always matches the requested census, for every
+/// distribution and a range of lengths.
+#[test]
+fn queues_honor_distributions() {
+    for len in 8u32..40 {
         for dist in Distribution::ALL {
             let q = queue_with_distribution(dist, len);
-            prop_assert_eq!(q.len() as u32, len);
-            prop_assert_eq!(census(&q), dist.class_counts(len));
+            assert_eq!(q.len() as u32, len);
+            assert_eq!(census(&q), dist.class_counts(len));
         }
     }
+}
 
-    /// Classification is total and deterministic: any finite profile
-    /// lands in exactly one class, and M beats MC beats the rest on
-    /// increasing memory bandwidth.
-    #[test]
-    fn classification_total_and_monotone(
-        mb in 0.0f64..200.0,
-        l2 in 0.0f64..300.0,
-        ipc in 0.0f64..2000.0,
-        r in 0.0f64..1.0,
-    ) {
-        let t = Thresholds::paper_gtx480();
+/// Classification is total and deterministic: any finite profile lands
+/// in exactly one class, and raising memory bandwidth can only move the
+/// class toward M.
+#[test]
+fn classification_total_and_monotone() {
+    let mut rng = SimRng::seed_from_u64(14);
+    let t = Thresholds::paper_gtx480();
+    for case in 0..CASES * 4 {
         let p = AppProfile {
             name: "x".into(),
-            memory_bw: mb,
-            l2_l1_bw: l2,
-            ipc,
-            r,
+            memory_bw: uniform(&mut rng, 0.0, 200.0),
+            l2_l1_bw: uniform(&mut rng, 0.0, 300.0),
+            ipc: uniform(&mut rng, 0.0, 2000.0),
+            r: rng.gen_f64(),
             utilization: 0.0,
             cycles: 1,
             thread_insts: 1,
             num_sms: 60,
         };
         let c = classify(&p, &t);
-        // Raising MB can only move the class toward M.
         let mut hi = p.clone();
-        hi.memory_bw = mb + 150.0;
+        hi.memory_bw += 150.0;
         let c_hi = classify(&hi, &t);
-        prop_assert!(c_hi <= c, "raising MB moved {c:?} away from M: {c_hi:?}");
+        assert!(c_hi <= c, "case {case}: raising MB moved {c:?} away from M: {c_hi:?}");
     }
+}
 
-    /// LP-format export/parse round-trips preserve the optimum for
-    /// random bounded integer problems.
-    #[test]
-    fn lp_format_round_trip(
-        obj in prop::collection::vec(-5.0f64..5.0, 2..4),
-        bound in 1.0f64..20.0,
-    ) {
-        use gcs_milp::export::to_lp_string;
-        use gcs_milp::parse::parse_lp;
-        let n = obj.len();
+/// LP-format export/parse round-trips preserve the optimum for random
+/// bounded integer problems.
+#[test]
+fn lp_format_round_trip() {
+    use gcs_milp::export::to_lp_string;
+    use gcs_milp::parse::parse_lp;
+    let mut rng = SimRng::seed_from_u64(15);
+    for case in 0..CASES {
+        let n = 2 + rng.gen_range(2) as usize;
+        let obj: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -5.0, 5.0)).collect();
+        let bound = uniform(&mut rng, 1.0, 20.0);
         let mut p = Problem::maximize(obj);
         p.add_constraint(vec![1.0; n], Relation::Le, bound);
         p.set_all_integer(true);
         let q = parse_lp(&to_lp_string(&p)).expect("round trip parses");
         let a = p.solve().expect("original solves");
         let b = q.solve().expect("round-tripped solves");
-        prop_assert!((a.objective - b.objective).abs() < 1e-6,
-            "{} vs {}", a.objective, b.objective);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-6,
+            "case {case}: {} vs {}",
+            a.objective,
+            b.objective
+        );
     }
+}
 
-    /// LRU cache: after accessing a working set no larger than the
-    /// cache, a second pass hits every line.
-    #[test]
-    fn cache_retains_fitting_working_set(lines in 1u64..32) {
+/// LRU cache: after accessing a working set no larger than the cache, a
+/// second pass hits every line.
+#[test]
+fn cache_retains_fitting_working_set() {
+    for lines in 1u64..32 {
         let mut c = Cache::new(CacheConfig {
             bytes: 32 * 128,
             line_bytes: 128,
@@ -169,27 +204,32 @@ proptest! {
             c.access(i * 128);
         }
         for i in 0..lines {
-            prop_assert_eq!(c.access(i * 128), Access::Hit, "line {} evicted", i);
+            assert_eq!(c.access(i * 128), Access::Hit, "line {i} evicted");
         }
     }
+}
 
-    /// Pattern e-coefficients are antitone in slowdown: uniformly worse
-    /// interference can only lower e.
-    #[test]
-    fn e_antitone_in_slowdown(s1 in 1.0f64..5.0, extra in 0.1f64..5.0) {
-        use gcs_core::interference::InterferenceMatrix;
-        let p = Pattern::new([1, 1, 0, 0]);
+/// Pattern e-coefficients are antitone in slowdown: uniformly worse
+/// interference can only lower e.
+#[test]
+fn e_antitone_in_slowdown() {
+    use gcs_core::interference::InterferenceMatrix;
+    let mut rng = SimRng::seed_from_u64(16);
+    let p = Pattern::new([1, 1, 0, 0]);
+    for _ in 0..CASES {
+        let s1 = uniform(&mut rng, 1.0, 5.0);
+        let extra = uniform(&mut rng, 0.1, 5.0);
         let low = InterferenceMatrix::uniform(s1);
         let high = InterferenceMatrix::uniform(s1 + extra);
-        prop_assert!(p.e_coefficient(&low) > p.e_coefficient(&high));
+        assert!(p.e_coefficient(&low) > p.e_coefficient(&high));
     }
+}
 
-    /// The build_problem constraint system always admits the FCFS
-    /// solution, so the ILP optimum is at least the FCFS objective.
-    #[test]
-    fn ilp_never_loses_to_any_feasible_grouping(seed in 0u64..500) {
-        // Random e and census; compare ILP optimum against a greedy
-        // feasible point (fill patterns left to right).
+/// The build_problem constraint system always admits the FCFS solution,
+/// so the ILP optimum is at least the same-class-pairing objective.
+#[test]
+fn ilp_never_loses_to_any_feasible_grouping() {
+    for seed in 0u64..CASES as u64 {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut rng = move || {
             state ^= state << 13;
@@ -208,8 +248,12 @@ proptest! {
             .filter(|(p, _)| p.counts().contains(&2))
             .map(|(_, v)| v)
             .sum();
-        prop_assert!(sol.objective >= same_class - 1e-9,
-            "ILP {} below the same-class grouping {}", sol.objective, same_class);
+        assert!(
+            sol.objective >= same_class - 1e-9,
+            "seed {seed}: ILP {} below the same-class grouping {}",
+            sol.objective,
+            same_class
+        );
     }
 }
 
