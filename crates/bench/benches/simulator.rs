@@ -10,8 +10,25 @@ use gcs_bench::timing::bench;
 use gcs_sim::cache::Cache;
 use gcs_sim::config::{CacheConfig, GpuConfig};
 use gcs_sim::gpu::Gpu;
+use gcs_sim::kernel::{AccessPattern, KernelDesc, Op, PatternId};
 use gcs_sim::sched::{WarpSchedPolicy, WarpScheduler};
 use gcs_workloads::{Benchmark, Scale};
+
+/// A pointer-chase-style kernel: one dependent random DRAM read per
+/// iteration, far too few warps to cover the miss latency. Performance
+/// is pure memory latency (`R` would be enormous under the paper's
+/// classifier); virtually every cycle of a run is a dead wait.
+fn ptr_chase_kernel(name: &str) -> KernelDesc {
+    KernelDesc {
+        name: name.into(),
+        grid_blocks: 4,
+        warps_per_block: 1,
+        iters_per_warp: 4000,
+        body: vec![Op::Load(PatternId(0))],
+        patterns: vec![AccessPattern::random(256 << 20, 1)],
+        active_lanes: 8,
+    }
+}
 
 fn main() {
     let mut cache = Cache::new(CacheConfig {
@@ -42,6 +59,43 @@ fn main() {
         gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).expect("b");
         gpu.partition_even();
         gpu.run_for(5_000);
+        gpu.cycle()
+    });
+
+    // Memory-bound co-run on the full device model: GUPS (bandwidth
+    // hostile) next to SPMV (irregular). Most cycles stall on DRAM, so
+    // this is the benchmark that event-horizon stepping must speed up.
+    bench("sim/device/gtx480_20k_cycles_gups_spmv_even", || {
+        let mut gpu = Gpu::new(GpuConfig::gtx480()).expect("gpu");
+        gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
+        gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("b");
+        gpu.partition_even();
+        gpu.run_for(20_000);
+        gpu.cycle()
+    });
+
+    // Memory-*latency*-bound co-run: two low-occupancy pointer-chase
+    // kernels whose warps all sleep on DRAM misses, so almost every
+    // cycle is dead while the memory system stays busy. This is the
+    // regime event-horizon stepping exists for — the old engine had to
+    // step each of those cycles one by one.
+    bench("sim/device/gtx480_ptr_chase_pair_complete", || {
+        let mut gpu = Gpu::new(GpuConfig::gtx480()).expect("gpu");
+        gpu.launch(ptr_chase_kernel("chase_a")).expect("a");
+        gpu.launch(ptr_chase_kernel("chase_b")).expect("b");
+        gpu.partition_even();
+        gpu.run(50_000_000).expect("run");
+        gpu.cycle()
+    });
+
+    // Same pairing run to completion on the small device: includes the
+    // drain tail where only a few warps remain in flight.
+    bench("sim/device/test_small_gups_spmv_even_complete", || {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
+        gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
+        gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("b");
+        gpu.partition_even();
+        gpu.run(50_000_000).expect("run");
         gpu.cycle()
     });
 }

@@ -51,8 +51,12 @@ pub const SWEEP_CACHE_DIR: &str = "results/cache";
 /// A machine-sized [`SweepEngine`] persisting its memo cache under
 /// [`SWEEP_CACHE_DIR`] — the engine every harness binary should share.
 /// Delete the cache directory after changing the simulator or the
-/// workload models.
+/// workload models, or set `GCS_CACHE=off` to bypass it for one run
+/// (used by `scripts/bench.sh` to time truly cold sweeps).
 pub fn default_engine() -> SweepEngine {
+    if std::env::var("GCS_CACHE").as_deref() == Ok("off") {
+        return SweepEngine::auto();
+    }
     SweepEngine::auto().with_cache_dir(SWEEP_CACHE_DIR)
 }
 

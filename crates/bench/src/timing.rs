@@ -10,24 +10,38 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Target wall time per measured sample.
+/// Target wall time per measured sample (override: `BENCH_TARGET_MS`).
 const TARGET: Duration = Duration::from_millis(200);
 
-/// Timed samples per benchmark.
+/// Timed samples per benchmark (override: `BENCH_SAMPLES`).
 const SAMPLES: u32 = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Runs `f` repeatedly and prints the per-iteration mean and minimum.
 ///
 /// The return value is passed through [`black_box`] so the work cannot
 /// be optimized away.
+///
+/// When the `BENCH_JSON` environment variable is set (any value), each
+/// benchmark additionally prints one machine-readable line of the form
+/// `BENCH_JSON {"name":"...","mean_ns":N,"min_ns":N}` that
+/// `scripts/bench.sh` collects into `BENCH_sim.json`.
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let target = Duration::from_millis(env_u64("BENCH_TARGET_MS", TARGET.as_millis() as u64));
+    let samples = env_u64("BENCH_SAMPLES", u64::from(SAMPLES)).max(1) as u32;
     let t0 = Instant::now();
     black_box(f());
     let once = t0.elapsed().max(Duration::from_nanos(1));
-    let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
-    for _ in 0..SAMPLES {
+    for _ in 0..samples {
         let t = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -36,8 +50,15 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         total += per_iter;
         best = best.min(per_iter);
     }
-    let mean = total / SAMPLES;
+    let mean = total / samples;
     println!("{name:<44} {iters:>8} iters/sample   mean {mean:>12.3?}   min {best:>12.3?}");
+    if std::env::var_os("BENCH_JSON").is_some() {
+        println!(
+            "BENCH_JSON {{\"name\":\"{name}\",\"mean_ns\":{},\"min_ns\":{}}}",
+            mean.as_nanos(),
+            best.as_nanos()
+        );
+    }
 }
 
 #[cfg(test)]

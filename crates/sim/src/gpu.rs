@@ -84,6 +84,23 @@ struct AppRuntime {
     finished: bool,
 }
 
+/// How [`Gpu::run`] and [`Gpu::run_for`] advance the device clock.
+///
+/// Both modes produce bit-identical [`SimStats`] (asserted by the
+/// `step_equivalence` suite); this is a runtime knob on the device, not
+/// part of [`GpuConfig`], so sweep-cache fingerprints are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Step every cycle; fast-forward only fully quiescent sleep phases
+    /// (the slow reference behavior).
+    Cycle,
+    /// Jump straight to the next event horizon — the earliest SM
+    /// wake-up or memory-system event — whenever no SM can issue or
+    /// dispatch, even while the memory system is busy.
+    #[default]
+    EventHorizon,
+}
+
 /// The simulated device.
 #[derive(Debug)]
 pub struct Gpu {
@@ -94,6 +111,9 @@ pub struct Gpu {
     stats: SimStats,
     cycle: u64,
     comp_buf: Vec<Completion>,
+    step_mode: StepMode,
+    /// Scratch for `reassign_sms_of` (avoids per-call allocation).
+    reassign_buf: Vec<(AppId, u32)>,
 }
 
 impl Gpu {
@@ -113,6 +133,8 @@ impl Gpu {
             stats: SimStats::new(MAX_APPS),
             cycle: 0,
             comp_buf: Vec::with_capacity(64),
+            step_mode: StepMode::default(),
+            reassign_buf: Vec::new(),
             cfg,
         })
     }
@@ -120,6 +142,18 @@ impl Gpu {
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Clock-advance strategy in force.
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
+    /// Selects how `run`/`run_for` advance the clock. Statistics are
+    /// bit-identical across modes; [`StepMode::Cycle`] is the slow
+    /// reference used by the equivalence tests.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.step_mode = mode;
     }
 
     /// Registers an application. SMs must then be assigned via
@@ -270,6 +304,10 @@ impl Gpu {
     pub fn step(&mut self) {
         let now = self.cycle;
 
+        // Block retirements are the only trigger for handoff completion
+        // and app completion, so phases 4-5 run only when one happened.
+        let mut any_retired = false;
+
         // 1. Deliver memory responses; they may retire warps and blocks.
         self.comp_buf.clear();
         self.memsys.drain_completions(now, &mut self.comp_buf);
@@ -280,6 +318,7 @@ impl Gpu {
             if retired > 0 {
                 let owner = sm.owner.expect("retiring SM has an owner");
                 self.apps[usize::from(owner.0)].blocks_done += retired;
+                any_retired = true;
             }
         }
 
@@ -309,6 +348,7 @@ impl Gpu {
                     &mut self.stats,
                 );
                 app.blocks_done += retired;
+                any_retired |= retired > 0;
             }
 
             // Dispatch at most one block per SM per cycle.
@@ -325,21 +365,26 @@ impl Gpu {
             }
         }
 
-        // 4. Complete drained handoffs.
-        for sm in &mut self.sms {
-            sm.try_complete_handoff();
-        }
+        // Phases 4-5 can only observe a change when a block retired this
+        // cycle: handoffs complete on drain (emptiness changes only at a
+        // retirement) and app completion tracks `blocks_done`.
+        if any_retired {
+            // 4. Complete drained handoffs.
+            for sm in &mut self.sms {
+                sm.try_complete_handoff();
+            }
 
-        // 5. Detect app completion.
-        for a in 0..self.apps.len() {
-            let app = &mut self.apps[a];
-            if !app.finished && app.started && app.blocks_done == app.kernel.grid_blocks {
-                app.finished = true;
-                let id = AppId(a as u16);
-                self.stats.app_mut(id).finish_cycle = now;
-                self.stats.app_mut(id).blocks_done = app.blocks_done;
-                if self.cfg.reassign_on_finish {
-                    self.reassign_sms_of(id);
+            // 5. Detect app completion.
+            for a in 0..self.apps.len() {
+                let app = &mut self.apps[a];
+                if !app.finished && app.started && app.blocks_done == app.kernel.grid_blocks {
+                    app.finished = true;
+                    let id = AppId(a as u16);
+                    self.stats.app_mut(id).finish_cycle = now;
+                    self.stats.app_mut(id).blocks_done = app.blocks_done;
+                    if self.cfg.reassign_on_finish {
+                        self.reassign_sms_of(id);
+                    }
                 }
             }
         }
@@ -351,36 +396,70 @@ impl Gpu {
     /// Hands the SMs of a finished app to the running apps, balancing
     /// toward the app with the fewest effective SMs.
     fn reassign_sms_of(&mut self, finished: AppId) {
-        let running: Vec<AppId> = (0..self.apps.len())
-            .filter(|&i| !self.apps[i].finished)
-            .map(|i| AppId(i as u16))
-            .collect();
-        if running.is_empty() {
+        self.reassign_buf.clear();
+        for i in 0..self.apps.len() {
+            if !self.apps[i].finished {
+                self.reassign_buf.push((AppId(i as u16), 0));
+            }
+        }
+        if self.reassign_buf.is_empty() {
             return;
         }
-        let mut counts: Vec<(AppId, u32)> =
-            running.iter().map(|&a| (a, self.sm_count(a))).collect();
+        // Effective SM counts of the running apps, in one pass over the
+        // SMs (an SM counts toward its pending owner while draining).
+        for sm in &self.sms {
+            let effective = sm.pending_owner.or(sm.owner);
+            if let Some(owner) = effective {
+                if let Some(entry) = self.reassign_buf.iter_mut().find(|(a, _)| *a == owner) {
+                    entry.1 += 1;
+                }
+            }
+        }
         for sm in &mut self.sms {
             let effectively_finished = match sm.pending_owner {
                 Some(p) => p == finished,
                 None => sm.owner == Some(finished),
             };
             if effectively_finished {
-                let (target, cnt) = counts
+                let (target, cnt) = self
+                    .reassign_buf
                     .iter_mut()
                     .min_by_key(|(_, c)| *c)
                     .expect("running is non-empty");
                 sm.request_handoff(Some(*target));
-                let _ = target;
                 *cnt += 1;
             }
         }
     }
 
+    /// Earliest cycle at which any component could next change state:
+    /// the soonest SM wake-up or memory-system event. `None` means
+    /// nothing will ever happen again (deadlock if work remains).
+    fn next_horizon(&self) -> Option<u64> {
+        let sm_wake = self.sms.iter().filter_map(|sm| sm.next_wake()).min();
+        let mem_ev = self.memsys.next_event(self.cycle);
+        match (sm_wake, mem_ev) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True when the cycle just stepped left nothing issuable: no SM has
+    /// a ready warp and no block can be dispatched. Every remaining
+    /// state change is then bound to a future event, so the clock may
+    /// jump to the horizon.
+    fn quiescent_now(&self) -> bool {
+        !self.sms.iter().any(|sm| sm.has_ready_work()) && !self.dispatch_possible()
+    }
+
     /// Runs until every launched application finishes.
     ///
-    /// Idle stretches (all warps asleep, memory system quiescent) are
-    /// fast-forwarded, which matters for compute-heavy kernels.
+    /// Under [`StepMode::EventHorizon`] (the default) the clock jumps
+    /// over every dead stretch — including memory-bound phases where all
+    /// warps wait on DRAM — directly to the next event.
+    /// [`StepMode::Cycle`] steps one cycle at a time and fast-forwards
+    /// only fully quiescent sleep phases; it exists as the reference
+    /// behavior for the equivalence tests.
     ///
     /// # Errors
     ///
@@ -395,17 +474,35 @@ impl Gpu {
                 return Err(SimError::Timeout { cycle: self.cycle });
             }
             self.step();
+            if self.all_done() {
+                break;
+            }
 
-            // Fast-forward pure sleep phases.
-            if self.memsys.is_idle() && !self.all_done() {
-                let any_ready = self.sms.iter().any(|sm| sm.has_ready_work());
-                if !any_ready {
-                    let can_dispatch = self.dispatch_possible();
-                    if !can_dispatch {
+            match self.step_mode {
+                StepMode::Cycle => {
+                    // Fast-forward pure sleep phases.
+                    if self.memsys.is_idle() && self.quiescent_now() {
                         match self.sms.iter().filter_map(|sm| sm.next_wake()).min() {
                             Some(wake) if wake > self.cycle => {
                                 self.cycle = wake;
                                 self.stats.cycles = wake;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(SimError::Deadlock { cycle: self.cycle });
+                            }
+                        }
+                    }
+                }
+                StepMode::EventHorizon => {
+                    if self.quiescent_now() {
+                        match self.next_horizon() {
+                            Some(h) if h > self.cycle => {
+                                // Clamp so a timeout is still reported at
+                                // the budget boundary.
+                                let to = h.min(max_cycles);
+                                self.cycle = to;
+                                self.stats.cycles = to;
                             }
                             Some(_) => {}
                             None => {
@@ -422,10 +519,35 @@ impl Gpu {
     /// Runs for exactly `cycles` more cycles (or until everything
     /// finishes, whichever comes first). Used by controllers that sample
     /// the device periodically (SMRA's `T_C` window).
+    ///
+    /// The window boundary is a hard barrier for event-horizon stepping:
+    /// the clock never jumps past `end`, so controllers observe exactly
+    /// the same sampling cycles in either [`StepMode`].
     pub fn run_for(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
         while self.cycle < end && !self.all_done() {
             self.step();
+            if self.step_mode != StepMode::EventHorizon
+                || self.cycle >= end
+                || self.all_done()
+                || !self.quiescent_now()
+            {
+                continue;
+            }
+            match self.next_horizon() {
+                Some(h) if h > self.cycle => {
+                    let to = h.min(end);
+                    self.cycle = to;
+                    self.stats.cycles = to;
+                }
+                Some(_) => {}
+                None => {
+                    // Nothing can ever happen again: burn the rest of
+                    // the window, exactly as cycle stepping would.
+                    self.cycle = end;
+                    self.stats.cycles = end;
+                }
+            }
         }
     }
 

@@ -64,6 +64,6 @@ pub mod trace;
 pub mod warp;
 
 pub use config::GpuConfig;
-pub use gpu::{Gpu, SimError};
+pub use gpu::{Gpu, SimError, StepMode};
 pub use kernel::{AccessPattern, AppId, KernelDesc, Op, PatternId, PatternKind};
 pub use stats::{AppStats, SimStats};

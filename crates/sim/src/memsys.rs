@@ -62,10 +62,67 @@ struct DramBank {
     ready_at: u64,
 }
 
+/// DRAM controller queue with O(1) out-of-order removal.
+///
+/// FR-FCFS services requests out of arrival order, which previously
+/// cost an O(queue) element shift per pick (`VecDeque::remove`). Here a
+/// pick leaves a tombstone instead; live order is preserved and leading
+/// tombstones are popped eagerly. A compaction guard bounds the slot
+/// storage when an old request starves behind a row-hit stream.
+#[derive(Debug, Default)]
+struct DramQueue {
+    slots: VecDeque<Option<MemRequest>>,
+    live: usize,
+}
+
+impl DramQueue {
+    /// Live (un-serviced) requests.
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn push_back(&mut self, req: MemRequest) {
+        self.slots.push_back(Some(req));
+        self.live += 1;
+    }
+
+    /// Live requests oldest-first, each with its raw slot index (valid
+    /// until the next `take`/`push_back`).
+    fn iter(&self) -> impl Iterator<Item = (usize, &MemRequest)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    /// Removes the live request at raw slot `idx` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not hold a live request.
+    fn take(&mut self, idx: usize) -> MemRequest {
+        let req = self.slots[idx].take().expect("take of a live slot");
+        self.live -= 1;
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+        }
+        // Starvation guard: if tombstones ever dominate (an old request
+        // pinned behind a long row-hit stream), compact in place.
+        if self.slots.len() > 2 * self.live + 16 {
+            self.slots.retain(Option::is_some);
+        }
+        req
+    }
+}
+
 #[derive(Debug)]
 struct DramCtrl {
     banks: Vec<DramBank>,
-    queue: VecDeque<MemRequest>,
+    queue: DramQueue,
     bus_free_at: u64,
 }
 
@@ -79,7 +136,7 @@ impl DramCtrl {
                 };
                 num_banks as usize
             ],
-            queue: VecDeque::new(),
+            queue: DramQueue::default(),
             bus_free_at: 0,
         }
     }
@@ -97,6 +154,13 @@ struct Slice {
     /// line address -> read requests waiting on the in-flight fill. The
     /// first entry is the request that went to DRAM; the rest merged.
     mshr: HashMap<u64, Vec<MemRequest>>,
+    /// Pool of drained MSHR waiter vectors, recycled so a miss does not
+    /// allocate on the simulator's hottest path.
+    mshr_pool: Vec<Vec<MemRequest>>,
+    /// Earliest cycle at which the L2 stage of this slice could possibly
+    /// make progress (`u64::MAX` when nothing is queued). Maintained by
+    /// `tick` and lowered by `push`; consumed by [`MemSys::next_event`].
+    l2_event: u64,
 }
 
 /// The shared memory hierarchy below the L1s.
@@ -119,6 +183,8 @@ impl MemSys {
                 input: VecDeque::new(),
                 ctrl: DramCtrl::new(cfg.dram.banks),
                 mshr: HashMap::new(),
+                mshr_pool: Vec::new(),
+                l2_event: u64::MAX,
             })
             .collect();
         MemSys {
@@ -144,70 +210,124 @@ impl MemSys {
     /// Injects a transaction (already line-aligned). Call only after
     /// [`MemSys::can_accept`] returned `true` this cycle.
     pub fn push(&mut self, req: MemRequest) {
-        let slice = self.slice_of(req.addr);
-        debug_assert!(self.slices[slice].input.len() < SLICE_QUEUE_DEPTH + 64);
-        self.slices[slice].input.push_back(req);
+        let idx = self.slice_of(req.addr);
+        let slice = &mut self.slices[idx];
+        debug_assert!(slice.input.len() < SLICE_QUEUE_DEPTH + 64);
+        slice.l2_event = slice.l2_event.min(req.arrive_at);
+        slice.input.push_back(req);
     }
 
-    /// Advances the slices and DRAM controllers by one cycle.
+    /// Advances the slices and DRAM controllers by one cycle. Slices
+    /// with nothing queued are skipped entirely (MSHR entries imply a
+    /// queued read, so the emptiness check is complete).
     pub fn tick(&mut self, now: u64, stats: &mut SimStats) {
         let num_slices = self.slices.len() as u64;
         let icnt = u64::from(self.cfg.icnt_lat);
         let l2_lat = u64::from(self.cfg.l2_lat);
         for slice in &mut self.slices {
+            if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
+                debug_assert!(slice.mshr.is_empty());
+                continue;
+            }
+
             // L2 stage: process up to l2_ports arrived requests. A miss
             // that cannot enter a full DRAM queue is *skipped over*, not
             // blocked on: L2 hits behind it would otherwise suffer
             // head-of-line delay whenever a co-runner saturates the
-            // channel. Misses stay in arrival order among themselves.
+            // channel. Misses stay in arrival order among themselves:
+            // consumed entries are compacted out in place (front pops
+            // while no miss has been bypassed, one order-preserving
+            // tail shift afterwards) instead of an O(queue) element
+            // shift per removal.
             let mut processed = 0;
-            let mut idx = 0;
-            while processed < self.cfg.l2_ports && idx < slice.input.len() {
-                let req = slice.input[idx];
-                if req.arrive_at > now {
-                    break; // queue is FIFO in arrival time
+            let mut stalled_kept = false; // bypassed misses left in queue
+            let mut due_left = false; // port-limited with due entries left
+            let mut next_arrival = u64::MAX; // first not-yet-due arrival
+            {
+                let mut len = slice.input.len();
+                let mut i = 0; // read cursor
+                let mut w = 0; // write cursor (entries kept)
+                while i < len {
+                    let req = slice.input[i];
+                    if processed >= self.cfg.l2_ports {
+                        if req.arrive_at <= now {
+                            due_left = true;
+                        } else {
+                            next_arrival = req.arrive_at;
+                        }
+                        break;
+                    }
+                    if req.arrive_at > now {
+                        next_arrival = req.arrive_at;
+                        break; // queue is FIFO in arrival time
+                    }
+                    let dram_full = slice.ctrl.queue.len() >= self.cfg.dram.queue_depth;
+                    // Probe without allocating: a stalled miss retries
+                    // later, and an early allocation would turn that
+                    // retry into a phantom hit. Lines are filled on DRAM
+                    // response.
+                    let line = req.addr / self.line_bytes * self.line_bytes;
+                    let consumed = match slice.l2.probe(req.addr) {
+                        Access::Hit => {
+                            if !req.is_write {
+                                // Write hits are absorbed silently.
+                                let at = now + l2_lat + icnt;
+                                stats.app_mut(req.app).l2_to_l1_bytes += self.line_bytes;
+                                self.responses.push(Reverse((at, req.sm, req.warp_slot)));
+                            }
+                            true
+                        }
+                        Access::Miss if !req.is_write && slice.mshr.contains_key(&line) => {
+                            // MSHR hit: a fill for this line is already
+                            // in flight; merge instead of fetching twice.
+                            slice.mshr.get_mut(&line).expect("checked").push(req);
+                            true
+                        }
+                        Access::Miss
+                            if !dram_full
+                                && (req.is_write || slice.mshr.len() < MSHRS_PER_SLICE) =>
+                        {
+                            if !req.is_write {
+                                let mut waiters = slice.mshr_pool.pop().unwrap_or_default();
+                                waiters.push(req);
+                                slice.mshr.insert(line, waiters);
+                            }
+                            slice.ctrl.queue.push_back(req);
+                            true
+                        }
+                        Access::Miss => false, // stalled; younger requests bypass
+                    };
+                    if consumed {
+                        processed += 1;
+                        if i == 0 && w == 0 {
+                            slice.input.pop_front(); // no gap yet: O(1)
+                            len -= 1;
+                        } else {
+                            i += 1; // leave a gap; closed below
+                        }
+                    } else {
+                        stalled_kept = true;
+                        if w != i {
+                            slice.input[w] = slice.input[i];
+                        }
+                        w += 1;
+                        i += 1;
+                    }
                 }
-                let dram_full = slice.ctrl.queue.len() >= self.cfg.dram.queue_depth;
-                // Probe without allocating: a stalled miss retries next
-                // cycle, and an early allocation would turn that retry
-                // into a phantom hit. Lines are filled on DRAM response.
-                let line = req.addr / self.line_bytes * self.line_bytes;
-                match slice.l2.probe(req.addr) {
-                    Access::Hit => {
-                        slice.input.remove(idx);
-                        processed += 1;
-                        if !req.is_write {
-                            // Write hits are absorbed silently.
-                            let at = now + l2_lat + icnt;
-                            stats.app_mut(req.app).l2_to_l1_bytes += self.line_bytes;
-                            self.responses.push(Reverse((at, req.sm, req.warp_slot)));
-                        }
+                // Close the gap: shift the unexamined tail down over the
+                // consumed entries, preserving order.
+                if w != i {
+                    while i < len {
+                        slice.input[w] = slice.input[i];
+                        w += 1;
+                        i += 1;
                     }
-                    Access::Miss if !req.is_write && slice.mshr.contains_key(&line) => {
-                        // MSHR hit: a fill for this line is already in
-                        // flight; merge instead of fetching twice.
-                        slice.input.remove(idx);
-                        processed += 1;
-                        slice.mshr.get_mut(&line).expect("checked").push(req);
-                    }
-                    Access::Miss
-                        if !dram_full
-                            && (req.is_write || slice.mshr.len() < MSHRS_PER_SLICE) =>
-                    {
-                        slice.input.remove(idx);
-                        processed += 1;
-                        if !req.is_write {
-                            slice.mshr.insert(line, vec![req]);
-                        }
-                        slice.ctrl.queue.push_back(req);
-                    }
-                    Access::Miss => {
-                        idx += 1; // stalled; let younger requests bypass
-                    }
+                    slice.input.truncate(w);
                 }
             }
 
             // DRAM stage: one scheduling decision per free bus slot.
+            let mut serviced = false;
             if slice.ctrl.bus_free_at <= now && !slice.ctrl.queue.is_empty() {
                 let pick = Self::schedule_dram(
                     &slice.ctrl,
@@ -217,7 +337,8 @@ impl MemSys {
                     &self.cfg,
                 );
                 if let Some(idx) = pick {
-                    let req = slice.ctrl.queue.remove(idx).expect("index valid");
+                    serviced = true;
+                    let req = slice.ctrl.queue.take(idx);
                     let global_row = req.addr / self.row_bytes;
                     // Rows are distributed to slices by `row % slices`, so
                     // the bank index must use the row bits *above* the
@@ -261,8 +382,8 @@ impl MemSys {
                         let at = done + l2_lat + icnt;
                         let line = req.addr / self.line_bytes * self.line_bytes;
                         match slice.mshr.remove(&line) {
-                            Some(waiters) => {
-                                for w in waiters {
+                            Some(mut waiters) => {
+                                for w in waiters.drain(..) {
                                     if w.warp_slot != req.warp_slot || w.sm != req.sm {
                                         // Merged request: counts as L2
                                         // traffic for its own app.
@@ -271,6 +392,8 @@ impl MemSys {
                                     }
                                     self.responses.push(Reverse((at, w.sm, w.warp_slot)));
                                 }
+                                // Recycle the emptied waiter vector.
+                                slice.mshr_pool.push(waiters);
                             }
                             None => {
                                 // Read issued before MSHR tracking began
@@ -281,6 +404,20 @@ impl MemSys {
                     }
                 }
             }
+
+            // Event-horizon bookkeeping: the earliest cycle this slice's
+            // L2 stage could make progress again. Port-limited due work
+            // retries next cycle. A bypassed (stalled) miss can only
+            // proceed after a DRAM service frees queue or MSHR space
+            // (or fills its line), so it re-arms only when one happened
+            // this cycle — otherwise the DRAM-side bound computed by
+            // `next_event` covers the wait. Failing those, the first
+            // future arrival decides.
+            let mut ev = next_arrival;
+            if due_left || (stalled_kept && serviced) {
+                ev = ev.min(now + 1);
+            }
+            slice.l2_event = ev;
         }
     }
 
@@ -299,7 +436,7 @@ impl MemSys {
         if cfg.dram.fr_fcfs {
             // First ready: oldest request that hits an open row on a
             // ready bank.
-            for (i, req) in ctrl.queue.iter().enumerate() {
+            for (i, req) in ctrl.queue.iter() {
                 let bank = &ctrl.banks[bank_of(req.addr)];
                 if bank.ready_at <= now && bank.open_row == row_of(req.addr) {
                     return Some(i);
@@ -307,7 +444,7 @@ impl MemSys {
             }
         }
         // Then oldest-first on any ready bank.
-        for (i, req) in ctrl.queue.iter().enumerate() {
+        for (i, req) in ctrl.queue.iter() {
             if ctrl.banks[bank_of(req.addr)].ready_at <= now {
                 return Some(i);
             }
@@ -317,6 +454,47 @@ impl MemSys {
         // the oldest whose bank frees earliest only when every bank is
         // strictly busy *past* now — here simply stall the bus slot.
         None
+    }
+
+    /// Earliest cycle `>= now` at which the memory system could change
+    /// observable state, or `None` when it is completely idle (nothing
+    /// will ever happen again without new requests).
+    ///
+    /// `now` is the next cycle the device will execute; [`MemSys::tick`]
+    /// must already have run for `now - 1`. The bound is the minimum of
+    /// the response-heap head, each slice's next L2-stage event
+    /// (maintained by `tick`/`push`), and each DRAM channel's next
+    /// scheduling opportunity (`bus_free_at`, or the earliest bank-ready
+    /// time when the bus is free but every candidate bank was busy).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut ev = u64::MAX;
+        if let Some(&Reverse((at, _, _))) = self.responses.peek() {
+            ev = ev.min(at);
+        }
+        let num_slices = self.slices.len() as u64;
+        let banks = u64::from(self.cfg.dram.banks);
+        for slice in &self.slices {
+            ev = ev.min(slice.l2_event);
+            let ctrl = &slice.ctrl;
+            if !ctrl.queue.is_empty() {
+                if ctrl.bus_free_at >= now {
+                    ev = ev.min(ctrl.bus_free_at);
+                } else {
+                    // Bus free, yet the last tick scheduled nothing:
+                    // every candidate bank was busy. The next chance is
+                    // the earliest bank-ready time among queued requests.
+                    for (_, req) in ctrl.queue.iter() {
+                        let b = ((req.addr / self.row_bytes / num_slices) % banks) as usize;
+                        ev = ev.min(ctrl.banks[b].ready_at);
+                    }
+                }
+            }
+        }
+        if ev == u64::MAX {
+            None
+        } else {
+            Some(ev.max(now))
+        }
     }
 
     /// Pops every response due at or before `now`.
@@ -587,5 +765,118 @@ mod tests {
         }
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].warp_slot, 1, "plain FCFS keeps arrival order");
+    }
+
+    #[test]
+    fn stalled_misses_keep_arrival_order_while_hits_bypass() {
+        // Pins the L2 bypass semantics the in-place compaction must
+        // preserve: when the DRAM queue is full, misses stay queued *in
+        // arrival order among themselves* while younger L2 hits are
+        // consumed past them.
+        let mut cfg = GpuConfig::test_small();
+        cfg.l2_ports = 8; // process the whole scenario in one tick
+        cfg.dram.fr_fcfs = false;
+        let depth = cfg.dram.queue_depth;
+        let mut ms = MemSys::new(&cfg);
+        let mut st = SimStats::new(4);
+        let mut out = Vec::new();
+
+        // Warm line 0 into slice 0's L2 via a full round trip.
+        ms.push(read(0, 0));
+        for c in 0..500 {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert!(ms.is_idle());
+
+        // Keep the DRAM queue full for the tick under test: writes
+        // occupy queue slots but produce no responses, and only one
+        // leaves per bus slot.
+        for _ in 0..depth + 4 {
+            ms.slices[0].ctrl.queue.push_back(MemRequest {
+                is_write: true,
+                ..read(0, 500)
+            });
+        }
+
+        // Same slice (rows 2, 4, 6 with 2 slices): three misses with two
+        // hits interleaved behind them, all due at cycle 500.
+        let line = |r: u64, slot: u32| MemRequest {
+            warp_slot: slot,
+            ..read(r * cfg.dram.row_bytes, 500)
+        };
+        ms.push(line(2, 1)); // miss A
+        ms.push(line(4, 2)); // miss B
+        ms.push(line(0, 3)); // hit
+        ms.push(line(6, 4)); // miss C
+        ms.push(line(0, 5)); // hit
+        ms.tick(500, &mut st);
+
+        let kept: Vec<u32> = ms.slices[0].input.iter().map(|r| r.warp_slot).collect();
+        assert_eq!(kept, [1, 2, 4], "stalled misses kept, arrival order");
+        assert_eq!(ms.responses.len(), 2, "both hits consumed past them");
+        assert_eq!(
+            ms.slices[0].l2_event,
+            501,
+            "a DRAM service this tick may have freed space: retry next cycle"
+        );
+    }
+
+    #[test]
+    fn dram_queue_take_is_order_preserving() {
+        let mut q = DramQueue::default();
+        for i in 0..6u64 {
+            q.push_back(read(i, 0));
+        }
+        // Service out of order (as FR-FCFS does), middle then front.
+        let (idx, _) = q.iter().find(|(_, r)| r.addr == 3).expect("live");
+        assert_eq!(q.take(idx).addr, 3);
+        let (idx, _) = q.iter().next().expect("live");
+        assert_eq!(q.take(idx).addr, 0);
+        assert_eq!(q.len(), 4);
+        let rest: Vec<u64> = q.iter().map(|(_, r)| r.addr).collect();
+        assert_eq!(rest, [1, 2, 4, 5], "oldest-first order survives takes");
+
+        // Starvation guard: repeated push/take churn with one pinned
+        // request must not grow the slot storage without bound.
+        for i in 0..10_000u64 {
+            q.push_back(read(100 + i, 0));
+            let (idx, _) = q.iter().last().expect("live");
+            q.take(idx);
+        }
+        assert!(
+            q.slots.len() <= 2 * q.live + 16,
+            "tombstones dominate: {} slots for {} live",
+            q.slots.len(),
+            q.live
+        );
+    }
+
+    #[test]
+    fn next_event_tracks_pending_work() {
+        let (mut ms, mut st) = mk();
+        assert_eq!(ms.next_event(5), None, "idle memsys has no events");
+
+        ms.push(read(0, 10));
+        assert_eq!(ms.next_event(0), Some(10), "next event is the arrival");
+        assert_eq!(ms.next_event(12), Some(12), "past events clamp to now");
+
+        let mut out = Vec::new();
+        let mut c = 0;
+        while !ms.is_idle() {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+            // While anything is in flight the memsys must always offer
+            // a bound — a busy system with no next event would deadlock
+            // the event-horizon stepper.
+            if !ms.is_idle() {
+                assert!(ms.next_event(c + 1).is_some(), "busy but eventless at {c}");
+            }
+            c += 1;
+            assert!(c < 2000, "single read never completed");
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(ms.next_event(c), None, "drained memsys is eventless again");
     }
 }

@@ -35,6 +35,10 @@ pub struct Sm {
     pub pending_owner: Option<AppId>,
     warps: Vec<Option<Warp>>,
     ready: Vec<bool>,
+    /// Number of `true` bits in `ready`, maintained incrementally so
+    /// [`Sm::has_ready_work`] is O(1) — the event-horizon stepping
+    /// engine queries it for every SM whenever it considers a skip.
+    ready_count: u32,
     ages: Vec<u64>,
     /// Sleeping warps keyed by wake cycle.
     sleepers: BinaryHeap<Reverse<(u64, u32)>>,
@@ -58,6 +62,7 @@ impl Sm {
             pending_owner: None,
             warps: (0..slots).map(|_| None).collect(),
             ready: vec![false; slots],
+            ready_count: 0,
             ages: vec![u64::MAX; slots],
             sleepers: BinaryHeap::new(),
             blocks: Vec::with_capacity(cfg.max_blocks_per_sm as usize),
@@ -67,6 +72,20 @@ impl Sm {
             age_seq: 0,
             free_slots: cfg.max_warps_per_sm,
             addr_buf: Vec::with_capacity(32),
+        }
+    }
+
+    /// Flips a ready bit, keeping `ready_count` consistent. Every write
+    /// to `ready` must go through here.
+    #[inline]
+    fn set_ready(&mut self, slot: usize, val: bool) {
+        if self.ready[slot] != val {
+            self.ready[slot] = val;
+            if val {
+                self.ready_count += 1;
+            } else {
+                self.ready_count -= 1;
+            }
         }
     }
 
@@ -117,7 +136,7 @@ impl Sm {
                 self.age_seq += 1;
                 self.ages[slot] = w.age;
                 self.warps[slot] = Some(w);
-                self.ready[slot] = true;
+                self.set_ready(slot, true);
                 self.free_slots -= 1;
                 placed += 1;
             }
@@ -136,7 +155,7 @@ impl Sm {
                 if w.retiring {
                     return self.retire(slot);
                 }
-                self.ready[slot] = true;
+                self.set_ready(slot, true);
             }
         } else {
             debug_assert!(false, "response for an empty warp slot");
@@ -153,7 +172,7 @@ impl Sm {
             self.sleepers.pop();
             let slot = slot as usize;
             if self.warps[slot].is_some() {
-                self.ready[slot] = true;
+                self.set_ready(slot, true);
             }
         }
     }
@@ -161,7 +180,9 @@ impl Sm {
     /// Cheap check whether `issue` could do anything this cycle.
     pub fn has_ready_work(&self) -> bool {
         // `ready` bits are authoritative; sleepers are woken by `wake`.
-        self.ready.iter().any(|&r| r)
+        // The count is maintained by `set_ready`, so this is O(1)
+        // rather than a scan over every warp slot.
+        self.ready_count > 0
     }
 
     /// Next wake-up cycle of any sleeping warp, if all are asleep.
@@ -191,6 +212,10 @@ impl Sm {
             let Some(slot) = self.sched.pick(&self.ready, &self.ages) else {
                 break;
             };
+            // Every arm below clears the picked warp's ready bit (it
+            // either sleeps, waits on memory, parks at a barrier or
+            // retires), so clear it once up front.
+            self.set_ready(slot, false);
             let warp = self.warps[slot].as_mut().expect("ready slot has a warp");
             let op = kernel.body[warp.pc as usize];
 
@@ -201,7 +226,6 @@ impl Sm {
                     s.thread_insts += u64::from(kernel.active_lanes);
                     s.alu_insts += 1;
                     let done = warp.advance(body_len);
-                    self.ready[slot] = false;
                     if done {
                         retired_blocks += self.retire(slot);
                     } else {
@@ -252,7 +276,6 @@ impl Sm {
                     // Back-pressure: if any miss target cannot accept,
                     // retry the whole load later (no partial issue).
                     if miss_addrs > 0 && self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
-                        self.ready[slot] = false;
                         self.sleepers.push(Reverse((now + 2, slot as u32)));
                         continue;
                     }
@@ -271,7 +294,6 @@ impl Sm {
 
                     bump_counter(warp, p);
                     let done = warp.advance(body_len);
-                    self.ready[slot] = false;
                     if miss_addrs == 0 {
                         // All hits: short fixed latency, or immediate
                         // retirement when this was the final instruction.
@@ -305,7 +327,6 @@ impl Sm {
                     s.thread_insts += u64::from(kernel.active_lanes);
                     s.alu_insts += 1;
                     let block = warp.block;
-                    self.ready[slot] = false;
                     let b = self
                         .blocks
                         .iter_mut()
@@ -347,7 +368,6 @@ impl Sm {
                         &mut self.addr_buf,
                     );
                     if self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
-                        self.ready[slot] = false;
                         self.sleepers.push(Reverse((now + 2, slot as u32)));
                         continue;
                     }
@@ -368,7 +388,6 @@ impl Sm {
                     }
                     bump_counter(warp, p);
                     let done = warp.advance(body_len);
-                    self.ready[slot] = false;
                     if done {
                         // Stores are fire-and-forget; nothing to wait for.
                         retired_blocks += self.retire(slot);
@@ -385,7 +404,7 @@ impl Sm {
     /// Retires the warp in `slot`; returns 1 if its block completed.
     fn retire(&mut self, slot: usize) -> u32 {
         let warp = self.warps[slot].take().expect("retiring empty slot");
-        self.ready[slot] = false;
+        self.set_ready(slot, false);
         self.ages[slot] = u64::MAX;
         self.free_slots += 1;
         let idx = self

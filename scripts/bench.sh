@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Simulator performance benchmark runner.
+#
+# Runs the simulator micro-benchmarks plus one fixed cold reference
+# sweep and writes the results to BENCH_sim.json in the repo root:
+#
+#   {
+#     "benches":    { "<name>": {"mean_ns": N, "min_ns": N}, ... },
+#     "cold_sweep": { "name": "...", "wall_seconds": S }
+#   }
+#
+# Usage:
+#   scripts/bench.sh            full run (~200 ms x 3 samples per bench)
+#   scripts/bench.sh --smoke    fast sanity pass (~25 ms x 1 sample);
+#                               numbers are noisy, only checks that every
+#                               benchmark still runs and emits JSON
+#
+# Offline by construction, like scripts/ci.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export BENCH_JSON=1
+
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$SMOKE" -eq 1 ]; then
+    export BENCH_TARGET_MS=25
+    export BENCH_SAMPLES=1
+fi
+
+OUT=BENCH_sim.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> cargo bench --bench simulator"
+cargo bench --bench simulator | tee "$RAW"
+
+# Fixed cold reference sweep: the fig. 4.1 pipeline at TEST scale with
+# the on-disk memo cache disabled, so the simulator (not the cache) is
+# what gets timed. TEST scale keeps this a seconds-long sanity point;
+# the CHANGES.md wall-clock entries use the full SMALL-scale run.
+echo "==> cold reference sweep (fig41_two_app, GCS_SCALE=test, cache off)"
+cargo build --release --bin fig41_two_app >/dev/null
+SWEEP_T0=$(date +%s.%N)
+GCS_CACHE=off GCS_SCALE=test ./target/release/fig41_two_app >/dev/null
+SWEEP_T1=$(date +%s.%N)
+SWEEP_SECS=$(awk -v a="$SWEEP_T0" -v b="$SWEEP_T1" 'BEGIN { printf "%.3f", b - a }')
+
+# Collect the BENCH_JSON lines into one document.
+awk -v sweep_secs="$SWEEP_SECS" '
+    /^BENCH_JSON / {
+        line = substr($0, 12)
+        # {"name":"X","mean_ns":N,"min_ns":M}
+        name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
+        min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
+        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min "}"
+        entries = entries (entries == "" ? "" : ",\n") entry
+    }
+    END {
+        print "{"
+        print "  \"benches\": {"
+        print entries
+        print "  },"
+        print "  \"cold_sweep\": {"
+        print "    \"name\": \"fig41_two_app (GCS_SCALE=test, GCS_CACHE=off)\","
+        print "    \"wall_seconds\": " sweep_secs
+        print "  }"
+        print "}"
+    }
+' "$RAW" > "$OUT"
+
+echo
+echo "wrote $OUT ($(grep -c mean_ns "$OUT") benches, cold sweep ${SWEEP_SECS}s)"

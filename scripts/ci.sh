@@ -5,9 +5,12 @@
 # external dependencies (no registry, no index update), so this script
 # works on an air-gapped machine exactly as it does in CI.
 #
-#   scripts/ci.sh           full gate: build, tests, widened property
-#                           tests, clippy (deny warnings)
-#   scripts/ci.sh --quick   tier-1 only: release build + default tests
+#   scripts/ci.sh               full gate: build, tests, widened property
+#                               tests, clippy (deny warnings)
+#   scripts/ci.sh --quick       tier-1 only: release build + default tests
+#   scripts/ci.sh --bench-smoke also run scripts/bench.sh --smoke after the
+#                               gate (checks the benchmarks still run; the
+#                               timings themselves are not gated)
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -19,10 +22,12 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 QUICK=0
+BENCH_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick]" >&2; exit 2 ;;
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -53,6 +58,11 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "clippy not installed; skipping lint step"
+fi
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    step "bench smoke (scripts/bench.sh --smoke)"
+    scripts/bench.sh --smoke
 fi
 
 echo

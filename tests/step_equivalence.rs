@@ -1,0 +1,105 @@
+//! Step-mode equivalence: event-horizon stepping must be bit-identical
+//! to cycle-by-cycle stepping.
+//!
+//! `StepMode::EventHorizon` (the default) jumps the device clock over
+//! every cycle in which nothing can happen — including memory-bound
+//! stretches where all warps wait on DRAM. The engine's contract is
+//! that this is *purely* a wall-clock optimization: every counter in
+//! [`SimStats`] and the final device cycle are exactly the values the
+//! slow reference (`StepMode::Cycle`) produces. This suite pins that
+//! contract across the full 14-workload suite alone, an Even co-run,
+//! and an SMRA-controlled run with a small `T_C` window (the window
+//! boundaries are skip barriers, so the controller must observe
+//! identical samples and make identical decisions).
+
+use gcs_core::smra::{SmraAction, SmraController, SmraParams};
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::{Gpu, StepMode};
+use gcs_sim::stats::SimStats;
+use gcs_workloads::{Benchmark, Scale};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+fn device(mode: StepMode) -> Gpu {
+    let mut gpu = Gpu::new(GpuConfig::test_small()).expect("device");
+    gpu.set_step_mode(mode);
+    gpu
+}
+
+fn run_alone(bench: Benchmark, mode: StepMode) -> (SimStats, u64) {
+    let mut gpu = device(mode);
+    gpu.launch(bench.kernel(Scale::TEST)).expect("launch");
+    gpu.partition_even();
+    gpu.run(MAX_CYCLES).expect("alone run finishes");
+    (gpu.stats().clone(), gpu.cycle())
+}
+
+fn run_even_corun(a: Benchmark, b: Benchmark, mode: StepMode) -> (SimStats, u64) {
+    let mut gpu = device(mode);
+    gpu.launch(a.kernel(Scale::TEST)).expect("launch a");
+    gpu.launch(b.kernel(Scale::TEST)).expect("launch b");
+    gpu.partition_even();
+    gpu.run(MAX_CYCLES).expect("co-run finishes");
+    (gpu.stats().clone(), gpu.cycle())
+}
+
+fn run_smra(mode: StepMode) -> (SimStats, u64, Vec<SmraAction>) {
+    let mut gpu = device(mode);
+    // A bandwidth-hostile app next to a compute-dense one: the SMRA
+    // controller has real decisions to make, and most cycles are
+    // skippable DRAM waits — the regime where divergence would show.
+    let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
+    let b = gpu.launch(Benchmark::Sad.kernel(Scale::TEST)).expect("b");
+    gpu.partition_even();
+    let params = SmraParams {
+        tc: 400, // small window: many controller invocations
+        ..SmraParams::for_device(gpu.config().num_sms, 2)
+    };
+    let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+    ctl.run_to_completion(&mut gpu, MAX_CYCLES).expect("smra run");
+    (gpu.stats().clone(), gpu.cycle(), ctl.actions().to_vec())
+}
+
+#[test]
+fn alone_runs_are_bit_identical_across_step_modes() {
+    for bench in Benchmark::ALL {
+        let (stats_cycle, cyc_cycle) = run_alone(bench, StepMode::Cycle);
+        let (stats_eh, cyc_eh) = run_alone(bench, StepMode::EventHorizon);
+        assert_eq!(
+            cyc_cycle, cyc_eh,
+            "{bench:?}: final cycle diverged between step modes"
+        );
+        assert_eq!(
+            stats_cycle, stats_eh,
+            "{bench:?}: SimStats diverged between step modes"
+        );
+    }
+}
+
+#[test]
+fn even_corun_is_bit_identical_across_step_modes() {
+    let (stats_cycle, cyc_cycle) = run_even_corun(Benchmark::Gups, Benchmark::Spmv, StepMode::Cycle);
+    let (stats_eh, cyc_eh) =
+        run_even_corun(Benchmark::Gups, Benchmark::Spmv, StepMode::EventHorizon);
+    assert_eq!(cyc_cycle, cyc_eh, "co-run final cycle diverged");
+    assert_eq!(stats_cycle, stats_eh, "co-run SimStats diverged");
+}
+
+#[test]
+fn smra_run_with_small_window_is_bit_identical_across_step_modes() {
+    let (stats_cycle, cyc_cycle, actions_cycle) = run_smra(StepMode::Cycle);
+    let (stats_eh, cyc_eh, actions_eh) = run_smra(StepMode::EventHorizon);
+    assert_eq!(cyc_cycle, cyc_eh, "SMRA final cycle diverged");
+    assert_eq!(
+        actions_cycle, actions_eh,
+        "SMRA decision trace diverged: T_C windows are not being \
+         respected as skip barriers"
+    );
+    assert_eq!(stats_cycle, stats_eh, "SMRA SimStats diverged");
+}
+
+#[test]
+fn event_horizon_is_the_default_mode() {
+    let gpu = Gpu::new(GpuConfig::test_small()).expect("device");
+    assert_eq!(gpu.step_mode(), StepMode::EventHorizon);
+}
