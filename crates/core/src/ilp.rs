@@ -79,6 +79,24 @@ pub fn solve_grouping(
     nc: u32,
     matrix: &InterferenceMatrix,
 ) -> Result<GroupingSolution, CoreError> {
+    solve_grouping_with_limit(class_counts, nc, matrix, None)
+}
+
+/// [`solve_grouping`] with an explicit branch & bound node budget
+/// (`None` keeps the solver's default). The runner uses a tight budget
+/// as a deterministic trigger for its greedy degradation path; tests
+/// use it to prove that path.
+///
+/// # Errors
+///
+/// Same as [`solve_grouping`]; a too-small budget surfaces as
+/// [`CoreError::Milp`] with [`gcs_milp::SolveError::NodeLimit`].
+pub fn solve_grouping_with_limit(
+    class_counts: [u32; AppClass::COUNT],
+    nc: u32,
+    matrix: &InterferenceMatrix,
+    node_limit: Option<usize>,
+) -> Result<GroupingSolution, CoreError> {
     let nq: u32 = class_counts.iter().sum();
     if nq == 0 || nc < 2 {
         return Err(CoreError::BadQueue(format!(
@@ -95,7 +113,7 @@ pub fn solve_grouping(
         .iter()
         .map(|p| p.e_coefficient(matrix))
         .collect();
-    solve_with_e(class_counts, nc, &e)
+    solve_with_e_limited(class_counts, nc, &e, node_limit)
 }
 
 /// Solves the grouping ILP with an explicit `e` vector (used by the
@@ -109,8 +127,25 @@ pub fn solve_with_e(
     nc: u32,
     e: &[f64],
 ) -> Result<GroupingSolution, CoreError> {
+    solve_with_e_limited(class_counts, nc, e, None)
+}
+
+/// [`solve_with_e`] with an explicit branch & bound node budget.
+///
+/// # Errors
+///
+/// Same as [`solve_with_e`].
+pub fn solve_with_e_limited(
+    class_counts: [u32; AppClass::COUNT],
+    nc: u32,
+    e: &[f64],
+    node_limit: Option<usize>,
+) -> Result<GroupingSolution, CoreError> {
     let patterns = enumerate_patterns(nc);
-    let problem = build_problem(class_counts, nc, e);
+    let mut problem = build_problem(class_counts, nc, e);
+    if let Some(limit) = node_limit {
+        problem.set_node_limit(limit);
+    }
     let sol = problem.solve()?;
     let values = sol.rounded();
     let multiplicities: Vec<(Pattern, u32)> = patterns
@@ -234,5 +269,20 @@ mod tests {
     fn groups_expand_multiplicities() {
         let sol = solve_with_e([2, 5, 2, 5], 2, &PAPER_APPENDIX_E).unwrap();
         assert_eq!(sol.groups().len(), 7);
+    }
+
+    #[test]
+    fn exhausted_node_budget_surfaces_as_typed_milp_error() {
+        let m = InterferenceMatrix::synthetic_paper_shape();
+        let r = solve_grouping_with_limit([2, 5, 2, 5], 2, &m, Some(0));
+        assert!(
+            matches!(
+                r,
+                Err(CoreError::Milp(gcs_milp::SolveError::NodeLimit))
+            ),
+            "a zero node budget must fail with NodeLimit"
+        );
+        // The same census solves fine with the default budget.
+        assert!(solve_grouping_with_limit([2, 5, 2, 5], 2, &m, None).is_ok());
     }
 }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod fault;
 pub mod ilp;
 pub mod interference;
 pub mod pattern;
@@ -60,6 +61,7 @@ pub mod smra;
 pub mod sweep;
 
 pub use classify::{classify, classify_suite, AppClass, Thresholds};
+pub use fault::{Degradation, RetryPolicy};
 pub use interference::InterferenceMatrix;
 pub use profile::AppProfile;
 pub use sweep::{SweepEngine, SweepStats};
@@ -76,6 +78,13 @@ pub enum CoreError {
     Milp(gcs_milp::SolveError),
     /// The queue cannot be grouped as requested (length, classes, ...).
     BadQueue(String),
+    /// A sweep worker died (panicked) while simulating a job.
+    Worker {
+        /// Index of the job whose worker died.
+        job: usize,
+        /// Panic payload (or a placeholder for non-string payloads).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +93,9 @@ impl fmt::Display for CoreError {
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Milp(e) => write!(f, "ilp solve failed: {e}"),
             CoreError::BadQueue(why) => write!(f, "bad queue: {why}"),
+            CoreError::Worker { job, message } => {
+                write!(f, "worker for job {job} panicked: {message}")
+            }
         }
     }
 }
@@ -94,6 +106,7 @@ impl Error for CoreError {
             CoreError::Sim(e) => Some(e),
             CoreError::Milp(e) => Some(e),
             CoreError::BadQueue(_) => None,
+            CoreError::Worker { .. } => None,
         }
     }
 }
@@ -116,10 +129,19 @@ mod tests {
 
     #[test]
     fn error_chain() {
-        let e = CoreError::from(gcs_sim::SimError::Timeout { cycle: 1 });
+        let e = CoreError::from(gcs_sim::SimError::Timeout {
+            cycle: 1,
+            diag: Default::default(),
+        });
         assert!(e.to_string().contains("simulation failed"));
         assert!(e.source().is_some());
         let b = CoreError::BadQueue("x".into());
         assert!(b.source().is_none());
+        let w = CoreError::Worker {
+            job: 3,
+            message: "boom".into(),
+        };
+        assert!(w.to_string().contains("job 3"));
+        assert!(w.source().is_none());
     }
 }

@@ -25,7 +25,8 @@ use gcs_sim::config::GpuConfig;
 use gcs_workloads::{Benchmark, Scale};
 
 use crate::classify::{classify_suite, AppClass, Thresholds};
-use crate::ilp::solve_grouping;
+use crate::fault::Degradation;
+use crate::ilp::solve_grouping_with_limit;
 use crate::interference::InterferenceMatrix;
 use crate::profile::AppProfile;
 use crate::smra::SmraParams;
@@ -121,6 +122,9 @@ pub struct QueueReport {
     pub total_thread_insts: u64,
     /// Device throughput over the whole queue (Eq. 1.1).
     pub device_throughput: f64,
+    /// Downgrades applied while producing this report (e.g. the ILP
+    /// grouping degrading to greedy). Empty on a fully clean run.
+    pub degradations: Vec<Degradation>,
 }
 
 impl QueueReport {
@@ -150,6 +154,7 @@ pub struct Pipeline {
     thresholds: Thresholds,
     matrix: InterferenceMatrix,
     curves: BTreeMap<Benchmark, Vec<(u32, f64)>>,
+    ilp_node_limit: Option<usize>,
 }
 
 impl Pipeline {
@@ -221,7 +226,17 @@ impl Pipeline {
             thresholds,
             matrix,
             curves: BTreeMap::new(),
+            ilp_node_limit: None,
         })
+    }
+
+    /// Overrides the grouping ILP's branch & bound node budget (`None`
+    /// restores the solver default). When the budget is exhausted the
+    /// pipeline degrades to greedy class-aware grouping instead of
+    /// failing; the downgrade is recorded in
+    /// [`QueueReport::degradations`].
+    pub fn set_ilp_node_limit(&mut self, limit: Option<usize>) {
+        self.ilp_node_limit = limit;
     }
 
     /// The run configuration.
@@ -275,17 +290,41 @@ impl Pipeline {
         queue: &[Benchmark],
         policy: GroupingPolicy,
     ) -> Result<Vec<Vec<Benchmark>>, CoreError> {
+        self.group_with_degradations(queue, policy).map(|(g, _)| g)
+    }
+
+    /// [`Pipeline::group`], additionally reporting any downgrades taken
+    /// while grouping (currently: the ILP degrading to greedy when its
+    /// node budget runs out or the instance is infeasible).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::group`].
+    pub fn group_with_degradations(
+        &self,
+        queue: &[Benchmark],
+        policy: GroupingPolicy,
+    ) -> Result<(Vec<Vec<Benchmark>>, Vec<Degradation>), CoreError> {
         let nc = self.cfg.concurrency.max(1);
         match policy {
-            GroupingPolicy::Serial => Ok(queue.iter().map(|&b| vec![b]).collect()),
-            GroupingPolicy::Fcfs => Ok(queue.chunks(nc as usize).map(<[_]>::to_vec).collect()),
+            GroupingPolicy::Serial => {
+                Ok((queue.iter().map(|&b| vec![b]).collect(), Vec::new()))
+            }
+            GroupingPolicy::Fcfs => Ok((
+                queue.chunks(nc as usize).map(<[_]>::to_vec).collect(),
+                Vec::new(),
+            )),
             GroupingPolicy::Ilp => self.group_ilp(queue, nc),
         }
     }
 
-    fn group_ilp(&self, queue: &[Benchmark], nc: u32) -> Result<Vec<Vec<Benchmark>>, CoreError> {
+    fn group_ilp(
+        &self,
+        queue: &[Benchmark],
+        nc: u32,
+    ) -> Result<(Vec<Vec<Benchmark>>, Vec<Degradation>), CoreError> {
         if nc < 2 {
-            return Ok(queue.iter().map(|&b| vec![b]).collect());
+            return Ok((queue.iter().map(|&b| vec![b]).collect(), Vec::new()));
         }
         let usable = (queue.len() as u32 / nc) * nc;
         let head = &queue[..usable as usize];
@@ -295,31 +334,67 @@ impl Pipeline {
         for &b in head {
             census[self.class_of(b).index()] += 1;
         }
-        let solution = solve_grouping(census, nc, &self.matrix)?;
-
-        // Instantiate patterns FCFS within each class.
-        let mut pools: [Vec<Benchmark>; AppClass::COUNT] = Default::default();
-        for &b in head {
-            pools[self.class_of(b).index()].push(b);
-        }
-        for pool in &mut pools {
-            pool.reverse(); // pop() takes the earliest arrival
-        }
-        let mut groups = Vec::new();
-        for classes in solution.groups() {
-            let mut group = Vec::with_capacity(classes.len());
-            for class in classes {
-                let b = pools[class.index()]
-                    .pop()
-                    .expect("census guarantees availability");
-                group.push(b);
+        let mut degradations = Vec::new();
+        let mut groups = match solve_grouping_with_limit(census, nc, &self.matrix, self.ilp_node_limit)
+        {
+            Ok(solution) => {
+                // Instantiate patterns FCFS within each class.
+                let mut pools: [Vec<Benchmark>; AppClass::COUNT] = Default::default();
+                for &b in head {
+                    pools[self.class_of(b).index()].push(b);
+                }
+                for pool in &mut pools {
+                    pool.reverse(); // pop() takes the earliest arrival
+                }
+                let mut groups = Vec::new();
+                for classes in solution.groups() {
+                    let mut group = Vec::with_capacity(classes.len());
+                    for class in classes {
+                        let b = pools[class.index()]
+                            .pop()
+                            .expect("census guarantees availability");
+                        group.push(b);
+                    }
+                    groups.push(group);
+                }
+                groups
             }
-            groups.push(group);
-        }
+            Err(CoreError::Milp(e)) => {
+                degradations.push(Degradation::IlpGreedyFallback {
+                    reason: e.to_string(),
+                });
+                self.group_greedy(head, nc)
+            }
+            Err(e) => return Err(e),
+        };
         if !tail.is_empty() {
             groups.push(tail.to_vec());
         }
-        Ok(groups)
+        Ok((groups, degradations))
+    }
+
+    /// Greedy class-aware fallback grouping for when the ILP cannot
+    /// produce a solution: sort the head by class (memory-bound first,
+    /// FCFS within a class), then form each group from one app at the
+    /// memory-bound end plus `nc - 1` from the compute-bound end. This
+    /// spreads the most contentious apps across groups — the same
+    /// intuition Eq. 3.3 optimizes exactly — and is deterministic.
+    fn group_greedy(&self, head: &[Benchmark], nc: u32) -> Vec<Vec<Benchmark>> {
+        let mut sorted: Vec<Benchmark> = head.to_vec();
+        sorted.sort_by_key(|&b| self.class_of(b).index());
+        let mut groups = Vec::with_capacity(sorted.len() / nc as usize);
+        let (mut front, mut back) = (0usize, sorted.len());
+        while front < back {
+            let mut group = Vec::with_capacity(nc as usize);
+            group.push(sorted[front]);
+            front += 1;
+            for _ in 1..nc {
+                back -= 1;
+                group.push(sorted[back]);
+            }
+            groups.push(group);
+        }
+        groups
     }
 
     /// Executes one group under `alloc`. The co-run goes through the
@@ -377,7 +452,7 @@ impl Pipeline {
         grouping: GroupingPolicy,
         alloc: AllocationPolicy,
     ) -> Result<QueueReport, CoreError> {
-        let groups = self.group(queue, grouping)?;
+        let (groups, degradations) = self.group_with_degradations(queue, grouping)?;
         let mut results = Vec::with_capacity(groups.len());
         for g in &groups {
             results.push(self.run_group(g, alloc)?);
@@ -396,6 +471,7 @@ impl Pipeline {
             } else {
                 total_thread_insts as f64 / total_cycles as f64
             },
+            degradations,
         })
     }
 
@@ -580,6 +656,84 @@ mod tests {
         let total: usize = groups.iter().map(Vec::len).sum();
         assert_eq!(total, 5);
         assert_eq!(groups.last().unwrap().len(), 1, "tail group");
+    }
+
+    #[test]
+    fn ilp_node_exhaustion_degrades_to_greedy() {
+        let mut p = test_pipeline();
+        p.set_ilp_node_limit(Some(0));
+        let q = vec![
+            Benchmark::Blk,
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Sad,
+        ];
+        let (groups, degradations) = p
+            .group_with_degradations(&q, GroupingPolicy::Ilp)
+            .expect("greedy fallback must absorb the node-limit failure");
+        assert_eq!(
+            degradations.len(),
+            1,
+            "fallback must be recorded, got {degradations:?}"
+        );
+        assert!(matches!(
+            degradations[0],
+            Degradation::IlpGreedyFallback { .. }
+        ));
+        // The fallback still covers the queue exactly.
+        assert_eq!(groups.len(), 2);
+        let mut flat: Vec<Benchmark> = groups.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        let mut want = q.clone();
+        want.sort_unstable();
+        assert_eq!(flat, want);
+        // And the degradation reaches the queue report.
+        let r = p
+            .run_queue(&q, GroupingPolicy::Ilp, AllocationPolicy::Even)
+            .unwrap();
+        assert_eq!(r.degradations.len(), 1);
+        // A healthy budget produces no degradations.
+        p.set_ilp_node_limit(None);
+        let r = p
+            .run_queue(&q, GroupingPolicy::Ilp, AllocationPolicy::Even)
+            .unwrap();
+        assert!(r.degradations.is_empty());
+    }
+
+    #[test]
+    fn greedy_fallback_spreads_memory_bound_apps() {
+        let mut p = test_pipeline();
+        p.set_ilp_node_limit(Some(0));
+        // Take two memory-bound-ish and two compute-bound-ish apps; the
+        // greedy pairer must not put the two lowest-class (most
+        // memory-bound) apps in the same group.
+        let q = vec![
+            Benchmark::Gups,
+            Benchmark::Spmv,
+            Benchmark::Sad,
+            Benchmark::Lud,
+        ];
+        let (groups, degradations) = p
+            .group_with_degradations(&q, GroupingPolicy::Ilp)
+            .unwrap();
+        assert!(!degradations.is_empty());
+        // The greedy pairer spreads the lowest-index (most memory-bound)
+        // class present across groups whenever that is possible.
+        let worst_class = q.iter().map(|&b| p.class_of(b).index()).min().unwrap();
+        let worst_total = q
+            .iter()
+            .filter(|&&b| p.class_of(b).index() == worst_class)
+            .count();
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            if worst_total <= groups.len() {
+                let worst = g
+                    .iter()
+                    .filter(|&&b| p.class_of(b).index() == worst_class)
+                    .count();
+                assert!(worst <= 1, "greedy fallback stacked the worst class: {g:?}");
+            }
+        }
     }
 
     #[test]

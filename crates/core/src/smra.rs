@@ -8,6 +8,17 @@
 //! lowest-scoring one. If device throughput *dropped* since the last
 //! window, the previous move is reverted instead. `R_min` floors every
 //! application's allocation.
+//!
+//! ## Graceful degradation under SM faults
+//!
+//! When a [`gcs_sim::FaultPlan`] disables SMs mid-run the controller
+//! keeps operating over the *surviving* set: fair shares are computed
+//! against [`Gpu::num_enabled_sms`] instead of the configured total, and
+//! `R_min` is renormalized proportionally (always ≥ 1). A change in the
+//! surviving-SM count between windows is logged as
+//! [`SmraAction::FaultDetected`] and suppresses the revert guard for
+//! that window — the throughput drop is fault-induced, not move-induced,
+//! so undoing the last move would punish the wrong cause.
 
 use gcs_sim::gpu::Gpu;
 use gcs_sim::kernel::AppId;
@@ -68,6 +79,13 @@ pub enum SmraAction {
     },
     /// Reverted the previous move because throughput dropped.
     Revert,
+    /// The surviving-SM count changed since the last window (an SM was
+    /// disabled or re-enabled by a fault plan). The controller resets
+    /// its throughput baseline and pending-move state before scoring.
+    FaultDetected {
+        /// SMs still in service after the change.
+        surviving: u32,
+    },
 }
 
 /// Algorithm 1 state.
@@ -78,6 +96,7 @@ pub struct SmraController {
     prev_throughput: Option<f64>,
     last_move: Option<(AppId, AppId, u32)>,
     prev_stats: SimStats,
+    prev_surviving: Option<u32>,
     actions: Vec<SmraAction>,
 }
 
@@ -91,6 +110,7 @@ impl SmraController {
             prev_throughput: None,
             last_move: None,
             prev_stats: gpu.stats().clone(),
+            prev_surviving: None,
             actions: Vec::new(),
         }
     }
@@ -118,7 +138,7 @@ impl SmraController {
     ) -> Result<(), gcs_sim::SimError> {
         while !gpu.all_done() {
             if gpu.cycle() >= max_cycles {
-                return Err(gcs_sim::SimError::Timeout { cycle: gpu.cycle() });
+                return Err(gpu.timeout_error());
             }
             gpu.run_for(self.params.tc);
             if !gpu.all_done() {
@@ -138,6 +158,18 @@ impl SmraController {
         }
         let window = window_between(&self.prev_stats, &now_stats, delta);
         self.prev_stats = now_stats;
+
+        // Fault detection: if the surviving-SM set changed since the
+        // last window, this window's throughput delta is fault-induced
+        // rather than move-induced. Drop the pending move and the
+        // throughput baseline so the revert guard does not fire on it.
+        let surviving = gpu.num_enabled_sms().max(1);
+        if self.prev_surviving.is_some_and(|prev| prev != surviving) {
+            self.last_move = None;
+            self.prev_throughput = None;
+            self.log(SmraAction::FaultDetected { surviving });
+        }
+        self.prev_surviving = Some(surviving);
 
         // Revert when the previous move hurt device throughput
         // (Algorithm 1's `while T > Tp` guard).
@@ -169,7 +201,7 @@ impl SmraController {
         let mut scored: Vec<(AppId, u32, u32)> = Vec::with_capacity(running.len());
         for &app in &running {
             let sms = gpu.sm_count(app);
-            let share = f64::from(sms) / f64::from(cfg.num_sms);
+            let share = f64::from(sms) / f64::from(surviving);
             let ipc_thr = self.params.ipc_thr_frac * peak_ipc * share;
             let bw_thr = self.params.bw_thr_frac * peak_bw / running.len() as f64;
             let slot = usize::from(app.0);
@@ -197,9 +229,13 @@ impl SmraController {
             self.last_move = None;
             return self.log(SmraAction::Hold);
         }
-        // Respect R_min on the donor.
+        // Respect R_min on the donor, renormalized to the surviving set
+        // (identical to the configured floor on a healthy device).
+        let r_min_eff = (self.params.r_min * surviving)
+            .div_ceil(cfg.num_sms)
+            .max(1);
         let n = self.params.nr;
-        if worst_sms < self.params.r_min + n {
+        if worst_sms < r_min_eff + n {
             self.last_move = None;
             return self.log(SmraAction::Hold);
         }

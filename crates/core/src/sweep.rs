@@ -27,6 +27,7 @@
 //! speedup) and is printed by the `gcs-bench` harness.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -37,6 +38,7 @@ use gcs_sim::gpu::Gpu;
 use gcs_sim::kernel::AppId;
 use gcs_workloads::{Benchmark, Scale};
 
+use crate::fault::RetryPolicy;
 use crate::profile::{profile_with_sms, AppProfile, PROFILE_MAX_CYCLES};
 use crate::smra::{SmraController, SmraParams};
 use crate::CoreError;
@@ -80,6 +82,10 @@ pub struct SweepStats {
     pub serial_nanos: u64,
     /// Wall time spent inside parallel batches.
     pub wall_nanos: u64,
+    /// Jobs that failed at least once and then succeeded on retry.
+    pub jobs_retried: u64,
+    /// Corrupt on-disk cache entries moved to the quarantine directory.
+    pub jobs_quarantined: u64,
 }
 
 impl SweepStats {
@@ -107,7 +113,14 @@ impl std::fmt::Display for SweepStats {
             self.speedup(),
             self.serial_nanos as f64 / 1e9,
             self.wall_nanos as f64 / 1e9,
-        )
+        )?;
+        if self.jobs_retried > 0 {
+            write!(f, ", {} retried", self.jobs_retried)?;
+        }
+        if self.jobs_quarantined > 0 {
+            write!(f, ", {} cache entries quarantined", self.jobs_quarantined)?;
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +141,7 @@ struct Entry {
 pub struct SweepEngine {
     threads: usize,
     cache_dir: Option<PathBuf>,
+    retry: RetryPolicy,
     mem: Mutex<HashMap<u64, Entry>>,
     jobs_total: AtomicU64,
     jobs_simulated: AtomicU64,
@@ -137,6 +151,8 @@ pub struct SweepEngine {
     sim_cycles: AtomicU64,
     serial_nanos: AtomicU64,
     wall_nanos: AtomicU64,
+    jobs_retried: AtomicU64,
+    jobs_quarantined: AtomicU64,
 }
 
 impl SweepEngine {
@@ -146,6 +162,7 @@ impl SweepEngine {
         SweepEngine {
             threads: threads.max(1),
             cache_dir: None,
+            retry: RetryPolicy::NONE,
             mem: Mutex::new(HashMap::new()),
             jobs_total: AtomicU64::new(0),
             jobs_simulated: AtomicU64::new(0),
@@ -155,6 +172,8 @@ impl SweepEngine {
             sim_cycles: AtomicU64::new(0),
             serial_nanos: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
+            jobs_quarantined: AtomicU64::new(0),
         }
     }
 
@@ -181,6 +200,15 @@ impl SweepEngine {
         self
     }
 
+    /// Retries transiently failing jobs under `policy` (the default is
+    /// [`RetryPolicy::NONE`]: simulator jobs are deterministic, so a
+    /// failure normally replays identically). Panics are never retried.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -201,6 +229,8 @@ impl SweepEngine {
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             serial_nanos: self.serial_nanos.load(Ordering::Relaxed),
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -215,7 +245,11 @@ impl SweepEngine {
     ///
     /// Worker threads pull indices from a shared counter; a slot per job
     /// collects the result. On failure the error of the *lowest* failing
-    /// job index is returned (also deterministic).
+    /// job index is returned (also deterministic). A panicking job does
+    /// not take the pool down: the panic is caught per job and reported
+    /// as [`CoreError::Worker`], while every other job still runs. Use
+    /// [`SweepEngine::run_parallel_salvage`] to also recover the
+    /// successful results of a partially failed batch.
     ///
     /// # Errors
     ///
@@ -225,8 +259,33 @@ impl SweepEngine {
         T: Send,
         F: Fn(usize) -> Result<T, CoreError> + Sync,
     {
+        let mut out = Vec::with_capacity(jobs);
+        for r in self.execute(jobs, f) {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`SweepEngine::run_parallel`], but salvages the batch: every
+    /// job's individual outcome is returned in job-index order, so the
+    /// results that completed survive even when sibling jobs failed or
+    /// panicked. Callers that can make progress on partial data should
+    /// prefer this over aborting the whole sweep.
+    pub fn run_parallel_salvage<T, F>(&self, jobs: usize, f: F) -> Vec<Result<T, CoreError>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, CoreError> + Sync,
+    {
+        self.execute(jobs, f)
+    }
+
+    fn execute<T, F>(&self, jobs: usize, f: F) -> Vec<Result<T, CoreError>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, CoreError> + Sync,
+    {
         if jobs == 0 {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let slots: Vec<Mutex<Option<Result<T, CoreError>>>> =
             (0..jobs).map(|_| Mutex::new(None)).collect();
@@ -241,11 +300,11 @@ impl SweepEngine {
             let live = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
             self.max_in_flight.fetch_max(live, Ordering::Relaxed);
             let t = Instant::now();
-            let r = f(i);
+            let r = self.run_one(i, &f);
             let spent = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.serial_nanos.fetch_add(spent, Ordering::Relaxed);
             self.in_flight.fetch_sub(1, Ordering::Relaxed);
-            *slots[i].lock().expect("job slot poisoned") = Some(r);
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
         };
 
         let workers = self.threads.min(jobs);
@@ -261,15 +320,58 @@ impl SweepEngine {
         let spent = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.wall_nanos.fetch_add(spent, Ordering::Relaxed);
 
-        let mut out = Vec::with_capacity(jobs);
-        for slot in slots {
-            let r = slot
-                .into_inner()
-                .expect("job slot poisoned")
-                .expect("every job index was claimed");
-            out.push(r?);
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(|| {
+                        Err(CoreError::Worker {
+                            job: i,
+                            message: "worker exited before storing a result".into(),
+                        })
+                    })
+            })
+            .collect()
+    }
+
+    /// One job with panic isolation and the engine's retry policy: a
+    /// panic becomes [`CoreError::Worker`] immediately (deterministic
+    /// code would just panic again), while a plain error is retried up
+    /// to `max_retries` times with bounded backoff.
+    fn run_one<T>(
+        &self,
+        i: usize,
+        f: &(impl Fn(usize) -> Result<T, CoreError> + Sync),
+    ) -> Result<T, CoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Err(payload) => {
+                    return Err(CoreError::Worker {
+                        job: i,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                Ok(Ok(v)) => {
+                    if attempt > 0 {
+                        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Ok(Err(e)) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    let pause = self.retry.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
         }
-        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -387,7 +489,7 @@ impl SweepEngine {
     /// to a miss instead of returning a wrong result.
     fn lookup(&self, hash: u64, key: &str) -> Option<Vec<(String, u64)>> {
         {
-            let mem = self.mem.lock().expect("cache poisoned");
+            let mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(e) = mem.get(&hash) {
                 if e.key == key {
                     return Some(e.fields.clone());
@@ -396,12 +498,18 @@ impl SweepEngine {
             }
         }
         let dir = self.cache_dir.as_ref()?;
-        let text = std::fs::read_to_string(entry_path(dir, hash)).ok()?;
-        let (stored_key, fields) = parse_entry(&text)?;
+        let path = entry_path(dir, hash);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Some((stored_key, fields)) = parse_entry(&text) else {
+            self.quarantine(dir, &path);
+            return None;
+        };
         if stored_key != key {
+            // A full-key mismatch is an FNV collision with some *other*
+            // valid job, not corruption — leave the file alone.
             return None;
         }
-        self.mem.lock().expect("cache poisoned").insert(
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).insert(
             hash,
             Entry {
                 key: key.to_string(),
@@ -409,6 +517,26 @@ impl SweepEngine {
             },
         );
         Some(fields)
+    }
+
+    /// Moves an unparseable cache file into `<dir>/quarantine/` so it is
+    /// preserved for inspection but never consulted again; the caller
+    /// treats the lookup as a miss and re-simulates (which writes a
+    /// fresh entry at the original path).
+    fn quarantine(&self, dir: &Path, path: &Path) {
+        let qdir = dir.join("quarantine");
+        let _ = std::fs::create_dir_all(&qdir);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry.json".into());
+        if std::fs::rename(path, qdir.join(&name)).is_err() {
+            // Last resort: a corrupt file that cannot be moved must not
+            // shadow the repaired entry either.
+            let _ = std::fs::remove_file(path);
+        }
+        self.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!("warning: quarantined corrupt sweep cache entry {name}");
     }
 
     fn store(&self, hash: u64, key: &str, fields: Vec<(String, u64)>) {
@@ -419,7 +547,7 @@ impl SweepEngine {
                 eprintln!("warning: could not persist sweep cache entry {hash:016x}");
             }
         }
-        self.mem.lock().expect("cache poisoned").insert(
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).insert(
             hash,
             Entry {
                 key: key.to_string(),
@@ -652,6 +780,18 @@ fn field(fields: &[(String, u64)], name: &str) -> Option<u64> {
     fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
 }
 
+/// Best-effort rendering of a caught panic payload (`&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 // ----------------------------------------------------------------------
 // On-disk JSON (hand-rolled; no serde)
 // ----------------------------------------------------------------------
@@ -801,6 +941,89 @@ mod tests {
             Err(CoreError::BadQueue(msg)) => assert_eq!(msg, "job 1"),
             other => panic!("expected deterministic error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_typed() {
+        let e = SweepEngine::new(4);
+        let r: Result<Vec<u32>, _> = e.run_parallel(6, |i| {
+            if i == 3 {
+                panic!("chaos at {i}");
+            }
+            Ok(i as u32)
+        });
+        match r {
+            Err(CoreError::Worker { job, message }) => {
+                assert_eq!(job, 3);
+                assert!(message.contains("chaos"), "{message}");
+            }
+            other => panic!("expected Worker error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_keeps_completed_results_around_failures() {
+        for threads in [1, 2, 8] {
+            let e = SweepEngine::new(threads);
+            let out = e.run_parallel_salvage(8, |i| match i {
+                2 => panic!("boom"),
+                5 => Err(CoreError::BadQueue("nope".into())),
+                _ => Ok(i * 10),
+            });
+            assert_eq!(out.len(), 8);
+            for (i, r) in out.iter().enumerate() {
+                match (i, r) {
+                    (2, Err(CoreError::Worker { job, .. })) => assert_eq!(*job, 2),
+                    (5, Err(CoreError::BadQueue(_))) => {}
+                    (_, Ok(v)) => assert_eq!(*v, i * 10),
+                    (_, other) => panic!("job {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        let e = SweepEngine::new(1).with_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 0,
+        });
+        let tries = AtomicU32::new(0);
+        let out = e
+            .run_parallel(1, |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err(CoreError::BadQueue("flaky".into()))
+                } else {
+                    Ok(7u32)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, vec![7]);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+        assert_eq!(e.stats().jobs_retried, 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_panics_are_not_retried() {
+        let e = SweepEngine::new(1).with_retry_policy(RetryPolicy {
+            max_retries: 1,
+            base_backoff_ms: 0,
+        });
+        let tries = AtomicU32::new(0);
+        let r: Result<Vec<u32>, _> = e.run_parallel(1, |_| {
+            tries.fetch_add(1, Ordering::Relaxed);
+            Err(CoreError::BadQueue("always".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(tries.load(Ordering::Relaxed), 2, "1 attempt + 1 retry");
+
+        let panics = AtomicU32::new(0);
+        let r: Result<Vec<u32>, _> = e.run_parallel(1, |_| {
+            panics.fetch_add(1, Ordering::Relaxed);
+            panic!("deterministic");
+        });
+        assert!(matches!(r, Err(CoreError::Worker { .. })));
+        assert_eq!(panics.load(Ordering::Relaxed), 1, "panics must not retry");
     }
 
     // ---- fingerprints ------------------------------------------------
@@ -966,6 +1189,36 @@ mod tests {
         let repaired = SweepEngine::sequential().with_cache_dir(&tmp.0);
         repaired.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
         assert_eq!(repaired.stats().jobs_cached, 1);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_with_bytes_preserved() {
+        let tmp = TempCache::new("quarantine");
+        let warm = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        warm.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let entry = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .map(|f| f.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .expect("one cache entry on disk");
+        std::fs::write(&entry, "{ corrupt }").unwrap();
+
+        let cold = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        let p = cold.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        assert!(p.ipc > 0.0);
+        let s = cold.stats();
+        assert_eq!(s.jobs_quarantined, 1);
+        assert_eq!(s.jobs_simulated, 1);
+        assert!(s.to_string().contains("1 cache entries quarantined"));
+        // The corrupt bytes are preserved for inspection...
+        let q = tmp.0.join("quarantine").join(entry.file_name().unwrap());
+        assert_eq!(std::fs::read_to_string(q).unwrap(), "{ corrupt }");
+        // ...and the re-simulated entry replaced it: next engine hits.
+        let repaired = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        repaired.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let rs = repaired.stats();
+        assert_eq!(rs.jobs_cached, 1);
+        assert_eq!(rs.jobs_quarantined, 0);
     }
 
     #[test]

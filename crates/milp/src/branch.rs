@@ -59,11 +59,16 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         first_node = false;
 
         // Bound: relaxation optimum is an upper bound on any integer
-        // solution in this subtree.
-        if let Some(best) = &incumbent {
-            if relaxed.objective <= best_objective_max(best, minimizing) + INT_EPS {
-                stats.pruned_by_bound += 1;
-                continue;
+        // solution in this subtree — but only when the relaxation was
+        // solved to optimality. An inexact (budget-exhausted) value may
+        // *under*state the true bound, so pruning on it could discard
+        // the optimum; explore such subtrees instead.
+        if relaxed.exact {
+            if let Some(best) = &incumbent {
+                if relaxed.objective <= best_objective_max(best, minimizing) + INT_EPS {
+                    stats.pruned_by_bound += 1;
+                    continue;
+                }
             }
         }
 
@@ -84,7 +89,12 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
 
         match branch_var {
             None => {
-                // Integral: candidate incumbent.
+                // Integral: candidate incumbent. A point from an inexact
+                // relaxation is re-checked against the node's constraints
+                // before being trusted.
+                if !relaxed.exact && !node.is_feasible(&relaxed.values) {
+                    continue;
+                }
                 let better = match &incumbent {
                     None => true,
                     Some(best) => {
@@ -100,6 +110,7 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
                             relaxed.objective
                         },
                         stats,
+                        exact: relaxed.exact,
                     });
                 }
             }

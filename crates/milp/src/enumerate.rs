@@ -114,6 +114,7 @@ pub fn solve_bounded(problem: &Problem, bounds: &[u64]) -> Result<Solution, Solv
             values,
             objective,
             stats: Default::default(),
+            exact: true,
         }),
         None => Err(SolveError::Infeasible),
     }

@@ -70,6 +70,11 @@ pub struct Solution {
     pub objective: f64,
     /// Branch & bound statistics (all zeros for pure LPs).
     pub stats: BranchStats,
+    /// Whether optimality was proven. `false` when a simplex iteration
+    /// budget ran out: `values` is then feasible but possibly
+    /// suboptimal, and callers should treat bounds derived from it
+    /// conservatively.
+    pub exact: bool,
 }
 
 impl Solution {
@@ -95,6 +100,9 @@ pub enum SolveError {
     Malformed(String),
     /// Branch & bound exceeded its node budget without proving optimality.
     NodeLimit,
+    /// The simplex iteration budget ran out before even a feasible point
+    /// was found.
+    BudgetExhausted,
 }
 
 impl fmt::Display for SolveError {
@@ -104,6 +112,9 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::Malformed(why) => write!(f, "malformed problem: {why}"),
             SolveError::NodeLimit => write!(f, "branch and bound node limit exceeded"),
+            SolveError::BudgetExhausted => {
+                write!(f, "simplex iteration budget exhausted")
+            }
         }
     }
 }
@@ -120,6 +131,7 @@ mod tests {
             values: vec![1.9999999, 0.0000001, 3.0],
             objective: 5.0,
             stats: BranchStats::default(),
+            exact: true,
         };
         assert_eq!(sol.rounded(), vec![2, 0, 3]);
     }

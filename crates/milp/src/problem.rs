@@ -228,23 +228,27 @@ impl Problem {
     ///
     /// # Errors
     ///
-    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`] or
-    /// [`SolveError::Malformed`].
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::Malformed`], or [`SolveError::BudgetExhausted`]
+    /// when the simplex iteration budget ran out before a feasible point
+    /// was found (a budget hit *after* reaching feasibility is returned
+    /// as a solution with `exact == false` instead).
     pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
         self.validate()?;
         let lp = self.as_max_problem();
         match simplex::solve(&lp.objective, &lp.constraints) {
             LpSolution {
-                status: LpStatus::Optimal,
+                status: status @ (LpStatus::Optimal | LpStatus::BudgetExhausted),
                 values,
                 objective,
-            } => Ok(Solution {
+            } if !values.is_empty() => Ok(Solution {
                 values,
                 objective: match self.sense {
                     Sense::Maximize => objective,
                     Sense::Minimize => -objective,
                 },
                 stats: Default::default(),
+                exact: status == LpStatus::Optimal,
             }),
             LpSolution {
                 status: LpStatus::Infeasible,
@@ -254,6 +258,7 @@ impl Problem {
                 status: LpStatus::Unbounded,
                 ..
             } => Err(SolveError::Unbounded),
+            _ => Err(SolveError::BudgetExhausted),
         }
     }
 

@@ -26,6 +26,10 @@ pub enum LpStatus {
     Infeasible,
     /// The objective is unbounded above.
     Unbounded,
+    /// The iteration budget ran out before optimality was proven. When
+    /// `values` is non-empty the point is feasible but possibly
+    /// suboptimal; when empty, not even feasibility was established.
+    BudgetExhausted,
 }
 
 /// Raw result of the simplex routine.
@@ -33,9 +37,10 @@ pub enum LpStatus {
 pub struct LpSolution {
     /// Outcome of the solve.
     pub status: LpStatus,
-    /// Values of the original decision variables (empty unless optimal).
+    /// Values of the original decision variables (empty unless a
+    /// feasible point was reached).
     pub values: Vec<f64>,
-    /// Objective value (0 unless optimal).
+    /// Objective value (0 unless a feasible point was reached).
     pub objective: f64,
 }
 
@@ -51,6 +56,14 @@ impl LpSolution {
     fn unbounded() -> Self {
         LpSolution {
             status: LpStatus::Unbounded,
+            values: Vec::new(),
+            objective: 0.0,
+        }
+    }
+
+    fn budget_exhausted() -> Self {
+        LpSolution {
+            status: LpStatus::BudgetExhausted,
             values: Vec::new(),
             objective: 0.0,
         }
@@ -75,6 +88,18 @@ struct Tableau {
 
 /// Maximizes `objective · x` subject to `constraints` and `x ≥ 0`.
 pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution {
+    solve_budgeted(objective, constraints, None)
+}
+
+/// [`solve`] with an explicit per-phase pivot budget (`None` = the
+/// size-derived default). Exercised directly by tests; production
+/// callers rely on the default, which no well-formed co-scheduling
+/// problem comes near.
+pub(crate) fn solve_budgeted(
+    objective: &[f64],
+    constraints: &[Constraint],
+    budget: Option<usize>,
+) -> LpSolution {
     let n = objective.len();
     let m = constraints.len();
 
@@ -166,12 +191,17 @@ pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution
                 }
             }
         }
-        match t.run() {
+        match t.run(budget) {
             PivotOutcome::Optimal => {}
             PivotOutcome::Unbounded => {
                 // Phase-1 objective is bounded above by 0; reaching here
                 // indicates numerical trouble. Treat as infeasible.
                 return LpSolution::infeasible();
+            }
+            PivotOutcome::IterLimit => {
+                // Feasibility was never established — there is no point
+                // to report.
+                return LpSolution::budget_exhausted();
             }
         }
         // The objective-row RHS cell tracks -(phase-1 objective), i.e. the
@@ -219,10 +249,13 @@ pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution
         t.obj[col] = f64::NEG_INFINITY;
     }
 
-    match t.run() {
-        PivotOutcome::Optimal => {}
+    let status = match t.run(budget) {
+        PivotOutcome::Optimal => LpStatus::Optimal,
         PivotOutcome::Unbounded => return LpSolution::unbounded(),
-    }
+        // Every phase-2 iterate is feasible, so the current basic point
+        // can still be reported — just not as optimal.
+        PivotOutcome::IterLimit => LpStatus::BudgetExhausted,
+    };
 
     let mut values = vec![0.0; n];
     for r in 0..m {
@@ -238,7 +271,7 @@ pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution
     }
     let objective_value: f64 = objective.iter().zip(&values).map(|(c, x)| c * x).sum();
     LpSolution {
-        status: LpStatus::Optimal,
+        status,
         values,
         objective: objective_value,
     }
@@ -247,15 +280,19 @@ pub(crate) fn solve(objective: &[f64], constraints: &[Constraint]) -> LpSolution
 enum PivotOutcome {
     Optimal,
     Unbounded,
+    /// The pivot budget ran out before optimality was proven.
+    IterLimit,
 }
 
 impl Tableau {
-    /// Runs simplex iterations until optimality or unboundedness.
-    fn run(&mut self) -> PivotOutcome {
+    /// Runs simplex iterations until optimality, unboundedness, or the
+    /// pivot budget (`None` = size-derived default) runs out.
+    fn run(&mut self, budget: Option<usize>) -> PivotOutcome {
         let mut degenerate_streak = 0usize;
         // Generous safety bound: the number of bases is finite and Bland's
         // rule prevents cycling, but cap iterations defensively.
-        let max_iters = 50_000 + 200 * (self.total + 1) * (self.rows.len() + 1);
+        let max_iters = budget
+            .unwrap_or(50_000 + 200 * (self.total + 1) * (self.rows.len() + 1));
         for _ in 0..max_iters {
             let use_bland = degenerate_streak > 64;
             let Some(col) = self.entering_column(use_bland) else {
@@ -272,10 +309,11 @@ impl Tableau {
                 degenerate_streak = 0;
             }
         }
-        // Iteration budget exceeded: report the current point as optimal;
-        // callers re-verify feasibility where it matters. This path is not
-        // expected to be reachable with Bland's rule engaged.
-        PivotOutcome::Optimal
+        // Iteration budget exceeded: say so. Bland's rule makes this
+        // unreachable with the default budget, but mislabeling the
+        // current point "optimal" would silently corrupt every caller
+        // that trusts the status.
+        PivotOutcome::IterLimit
     }
 
     /// Chooses the entering column: most positive reduced cost (Dantzig),
@@ -458,5 +496,43 @@ mod tests {
         let sol = solve(&[0.0, 0.0], &[c(&[1.0, 1.0], Relation::Le, 1.0)]);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn phase2_budget_exhaustion_reports_feasible_point_not_optimal() {
+        // One pivot is not enough to reach the optimum of the textbook
+        // problem; the solver must say BudgetExhausted (not Optimal) and
+        // still hand back the feasible point it stopped at.
+        let constraints = [
+            c(&[1.0, 0.0], Relation::Le, 4.0),
+            c(&[0.0, 2.0], Relation::Le, 12.0),
+            c(&[3.0, 2.0], Relation::Le, 18.0),
+        ];
+        let sol = solve_budgeted(&[3.0, 5.0], &constraints, Some(1));
+        assert_eq!(sol.status, LpStatus::BudgetExhausted);
+        assert!(!sol.values.is_empty());
+        assert!(sol.objective < 36.0 - 1e-6, "{}", sol.objective);
+        for con in &constraints {
+            assert!(con.is_satisfied(&sol.values), "point must stay feasible");
+        }
+        // The untouched budget still reaches the true optimum.
+        let full = solve(&[3.0, 5.0], &constraints);
+        assert_eq!(full.status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn phase1_budget_exhaustion_reports_no_point() {
+        // Zero pivots cannot drive the artificials out, so feasibility
+        // is never established and no point may be reported.
+        let sol = solve_budgeted(
+            &[-1.0, -1.0],
+            &[
+                c(&[1.0, 2.0], Relation::Ge, 4.0),
+                c(&[3.0, 1.0], Relation::Ge, 6.0),
+            ],
+            Some(0),
+        );
+        assert_eq!(sol.status, LpStatus::BudgetExhausted);
+        assert!(sol.values.is_empty());
     }
 }

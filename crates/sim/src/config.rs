@@ -96,6 +96,12 @@ pub struct GpuConfig {
 }
 
 impl GpuConfig {
+    /// Miss-status holding registers per L2 slice: outstanding DRAM
+    /// reads keyed by line address. A fault plan's
+    /// [`MshrCap`](crate::fault::FaultKind::MshrCap) event can throttle
+    /// a slice below this, never above it.
+    pub const MAX_MSHRS_PER_SLICE: u32 = 64;
+
     /// The GTX 480-class configuration of Table 4.1.
     pub fn gtx480() -> Self {
         GpuConfig {

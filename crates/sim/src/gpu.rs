@@ -30,10 +30,11 @@ use std::error::Error;
 use std::fmt;
 
 use crate::config::GpuConfig;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::kernel::{AppId, KernelDesc};
 use crate::memsys::{Completion, MemSys};
 use crate::sm::Sm;
-use crate::stats::SimStats;
+use crate::stats::{DiagSnapshot, SimStats, SmDiag};
 use crate::warp::check_pattern_limit;
 
 /// Maximum concurrently launched applications.
@@ -50,12 +51,16 @@ pub enum SimError {
     Timeout {
         /// Cycle at which the budget ran out.
         cycle: u64,
+        /// Device state at the moment the budget ran out.
+        diag: DiagSnapshot,
     },
     /// No warp can ever make progress again (e.g. every SM is idle and
     /// unowned while blocks remain).
     Deadlock {
         /// Cycle at which the deadlock was detected.
         cycle: u64,
+        /// Device state at the moment the deadlock was detected.
+        diag: DiagSnapshot,
     },
     /// Application slot limit reached.
     TooManyApps,
@@ -66,8 +71,12 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             SimError::InvalidKernel(why) => write!(f, "invalid kernel: {why}"),
-            SimError::Timeout { cycle } => write!(f, "cycle budget exhausted at cycle {cycle}"),
-            SimError::Deadlock { cycle } => write!(f, "no runnable work at cycle {cycle}"),
+            SimError::Timeout { cycle, diag } => {
+                write!(f, "cycle budget exhausted at cycle {cycle} ({diag})")
+            }
+            SimError::Deadlock { cycle, diag } => {
+                write!(f, "no runnable work at cycle {cycle} ({diag})")
+            }
             SimError::TooManyApps => write!(f, "application slot limit reached"),
         }
     }
@@ -114,6 +123,14 @@ pub struct Gpu {
     step_mode: StepMode,
     /// Scratch for `reassign_sms_of` (avoids per-call allocation).
     reassign_buf: Vec<(AppId, u32)>,
+    /// Installed fault schedule, if any (`None` = healthy device, the
+    /// zero-cost default: one branch per step).
+    fault_plan: Option<FaultPlan>,
+    /// Scratch for `apply_due_faults` (avoids per-event borrows).
+    fault_buf: Vec<FaultEvent>,
+    /// In-service bitmap, one entry per SM; all `true` until a
+    /// `DisableSm` fault fires.
+    sm_enabled: Vec<bool>,
 }
 
 impl Gpu {
@@ -135,6 +152,9 @@ impl Gpu {
             comp_buf: Vec::with_capacity(64),
             step_mode: StepMode::default(),
             reassign_buf: Vec::new(),
+            fault_plan: None,
+            fault_buf: Vec::new(),
+            sm_enabled: vec![true; cfg.num_sms as usize],
             cfg,
         })
     }
@@ -154,6 +174,90 @@ impl Gpu {
     /// reference used by the equivalence tests.
     pub fn set_step_mode(&mut self, mode: StepMode) {
         self.step_mode = mode;
+    }
+
+    /// Installs a fault schedule. Like [`StepMode`], the plan is a
+    /// runtime knob on the device — deliberately not part of
+    /// [`GpuConfig`] — and events fire at exact device cycles, so a
+    /// fixed plan replays bit-identically in either step mode. Events
+    /// whose cycle has already passed fire on the next step.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the plan references SMs the
+    /// device does not have, sets a zero MSHR capacity, or would at any
+    /// point leave the device with no SM in service.
+    pub fn install_fault_plan(&mut self, mut plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate(&self.cfg).map_err(SimError::InvalidConfig)?;
+        self.fault_plan = Some(plan);
+        Ok(())
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Whether SM `id` is in service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn sm_in_service(&self, id: u32) -> bool {
+        self.sm_enabled[id as usize]
+    }
+
+    /// Number of SMs currently in service.
+    pub fn num_enabled_sms(&self) -> u32 {
+        self.sm_enabled.iter().filter(|&&e| e).count() as u32
+    }
+
+    /// Indices of the SMs currently in service (the surviving set a
+    /// degraded-mode controller must reallocate over).
+    pub fn surviving_sms(&self) -> Vec<u32> {
+        (0..self.sms.len() as u32)
+            .filter(|&i| self.sm_enabled[i as usize])
+            .collect()
+    }
+
+    /// Captures a structured snapshot of device state: per-SM ready and
+    /// live warp counts, ownership and service bits, plus per-slice
+    /// queue depths and MSHR occupancy.
+    pub fn diagnostics(&self) -> DiagSnapshot {
+        let mut snap = DiagSnapshot {
+            cycle: self.cycle,
+            sms: Vec::with_capacity(self.sms.len()),
+            slices: Vec::new(),
+        };
+        for (i, sm) in self.sms.iter().enumerate() {
+            snap.sms.push(SmDiag {
+                id: sm.id,
+                ready_warps: sm.ready_warps(),
+                live_warps: sm.live_warps(),
+                owner: sm.owner.map(|a| a.0),
+                enabled: self.sm_enabled[i],
+            });
+        }
+        self.memsys.slice_diags(&mut snap.slices);
+        snap
+    }
+
+    /// A [`SimError::Timeout`] at the current cycle with a diagnostic
+    /// snapshot attached.
+    pub fn timeout_error(&self) -> SimError {
+        SimError::Timeout {
+            cycle: self.cycle,
+            diag: self.diagnostics(),
+        }
+    }
+
+    /// A [`SimError::Deadlock`] at the current cycle with a diagnostic
+    /// snapshot attached.
+    pub fn deadlock_error(&self) -> SimError {
+        SimError::Deadlock {
+            cycle: self.cycle,
+            diag: self.diagnostics(),
+        }
     }
 
     /// Registers an application. SMs must then be assigned via
@@ -228,15 +332,19 @@ impl Gpu {
     /// launch order (the thesis' initial equal-share policy).
     pub fn partition_even(&mut self) {
         let n = self.apps.len().max(1);
-        let per = self.sms.len() / n;
-        let mut extra = self.sms.len() % n;
-        let mut next = 0usize;
+        let enabled = self.num_enabled_sms() as usize;
+        let per = enabled / n;
+        let mut extra = enabled % n;
+        let mut cursor = 0usize;
         for a in 0..n {
             let take = per + usize::from(extra > 0);
             extra = extra.saturating_sub(1);
             for _ in 0..take {
-                self.sms[next].request_handoff(Some(AppId(a as u16)));
-                next += 1;
+                while !self.sm_enabled[cursor] {
+                    cursor += 1;
+                }
+                self.sms[cursor].request_handoff(Some(AppId(a as u16)));
+                cursor += 1;
             }
         }
     }
@@ -251,31 +359,42 @@ impl Gpu {
     pub fn partition_counts(&mut self, counts: &[u32]) {
         assert!(counts.len() <= self.apps.len(), "counts for unlaunched apps");
         let total: u32 = counts.iter().sum();
+        let enabled = self.num_enabled_sms();
         assert!(
-            total as usize <= self.sms.len(),
-            "partition wants {total} SMs but device has {}",
-            self.sms.len()
+            total <= enabled,
+            "partition wants {total} SMs but device has {enabled} in service"
         );
-        let mut next = 0usize;
+        let mut cursor = 0usize;
         for (a, &c) in counts.iter().enumerate() {
             for _ in 0..c {
-                self.sms[next].request_handoff(Some(AppId(a as u16)));
-                next += 1;
+                while !self.sm_enabled[cursor] {
+                    cursor += 1;
+                }
+                self.sms[cursor].request_handoff(Some(AppId(a as u16)));
+                cursor += 1;
             }
         }
-        for sm in &mut self.sms[next..] {
-            sm.request_handoff(None);
+        for i in cursor..self.sms.len() {
+            if self.sm_enabled[i] {
+                self.sms[i].request_handoff(None);
+            }
         }
     }
 
-    /// Effective SM count for `app`: SMs it owns and is not losing, plus
-    /// SMs draining toward it.
+    /// Effective SM count for `app`: in-service SMs it owns and is not
+    /// losing, plus SMs draining toward it. Fault-disabled SMs are
+    /// excluded — an SM draining out of service no longer counts toward
+    /// anyone's share.
     pub fn sm_count(&self, app: AppId) -> u32 {
         self.sms
             .iter()
-            .filter(|sm| match sm.pending_owner {
-                Some(p) => p == app,
-                None => sm.owner == Some(app),
+            .enumerate()
+            .filter(|(i, sm)| {
+                self.sm_enabled[*i]
+                    && match sm.pending_owner {
+                        Some(p) => p == app,
+                        None => sm.owner == Some(app),
+                    }
             })
             .count() as u32
     }
@@ -284,9 +403,12 @@ impl Gpu {
     /// handoffs; returns how many transfers were initiated.
     pub fn transfer_sms(&mut self, from: AppId, to: AppId, n: u32) -> u32 {
         let mut moved = 0;
-        for sm in &mut self.sms {
+        for (i, sm) in self.sms.iter_mut().enumerate() {
             if moved == n {
                 break;
+            }
+            if !self.sm_enabled[i] {
+                continue;
             }
             let effectively_from = match sm.pending_owner {
                 Some(p) => p == from,
@@ -303,6 +425,12 @@ impl Gpu {
     /// Advances the device one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+
+        // 0. Apply fault events due this cycle (before issue, so a
+        // disabled SM never dispatches at its outage cycle).
+        if self.fault_plan.is_some() {
+            self.apply_due_faults(now);
+        }
 
         // Block retirements are the only trigger for handoff completion
         // and app completion, so phases 4-5 run only when one happened.
@@ -332,11 +460,15 @@ impl Gpu {
         // artifact, not a modeled mechanism.
         let n_sms = self.sms.len();
         for k in 0..n_sms {
-            let sm = &mut self.sms[(k + now as usize) % n_sms];
+            let idx = (k + now as usize) % n_sms;
+            let enabled = self.sm_enabled[idx];
+            let sm = &mut self.sms[idx];
             sm.wake(now);
             let Some(owner) = sm.owner else { continue };
             let app = &mut self.apps[usize::from(owner.0)];
 
+            // A fault-disabled SM keeps issuing so its resident blocks
+            // drain, but never accepts new work.
             if sm.has_ready_work() {
                 let retired = sm.issue(
                     now,
@@ -352,7 +484,8 @@ impl Gpu {
             }
 
             // Dispatch at most one block per SM per cycle.
-            if app.next_block < app.kernel.grid_blocks
+            if enabled
+                && app.next_block < app.kernel.grid_blocks
                 && sm.pending_owner.is_none()
                 && sm.can_take_block(&app.kernel, &self.cfg)
             {
@@ -369,9 +502,15 @@ impl Gpu {
         // cycle: handoffs complete on drain (emptiness changes only at a
         // retirement) and app completion tracks `blocks_done`.
         if any_retired {
-            // 4. Complete drained handoffs.
-            for sm in &mut self.sms {
-                sm.try_complete_handoff();
+            // 4. Complete drained handoffs; release drained out-of-
+            // service SMs (their owner loses them the moment the last
+            // resident block retires).
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                if self.sm_enabled[i] {
+                    sm.try_complete_handoff();
+                } else if sm.owner.is_some() && sm.is_empty() {
+                    sm.request_handoff(None);
+                }
             }
 
             // 5. Detect app completion.
@@ -406,8 +545,12 @@ impl Gpu {
             return;
         }
         // Effective SM counts of the running apps, in one pass over the
-        // SMs (an SM counts toward its pending owner while draining).
-        for sm in &self.sms {
+        // SMs (an SM counts toward its pending owner while draining;
+        // out-of-service SMs count toward no one).
+        for (i, sm) in self.sms.iter().enumerate() {
+            if !self.sm_enabled[i] {
+                continue;
+            }
             let effective = sm.pending_owner.or(sm.owner);
             if let Some(owner) = effective {
                 if let Some(entry) = self.reassign_buf.iter_mut().find(|(a, _)| *a == owner) {
@@ -415,7 +558,10 @@ impl Gpu {
                 }
             }
         }
-        for sm in &mut self.sms {
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            if !self.sm_enabled[i] {
+                continue;
+            }
             let effectively_finished = match sm.pending_owner {
                 Some(p) => p == finished,
                 None => sm.owner == Some(finished),
@@ -432,16 +578,89 @@ impl Gpu {
         }
     }
 
+    /// Applies every fault event due at or before `now`, in schedule
+    /// order.
+    fn apply_due_faults(&mut self, now: u64) {
+        {
+            let Some(plan) = self.fault_plan.as_mut() else {
+                return;
+            };
+            let due = plan.due(now);
+            if due.is_empty() {
+                return;
+            }
+            self.fault_buf.clear();
+            self.fault_buf.extend_from_slice(due);
+        }
+        for i in 0..self.fault_buf.len() {
+            let ev = self.fault_buf[i];
+            match ev.kind {
+                FaultKind::DisableSm { sm } => {
+                    let idx = sm as usize;
+                    self.sm_enabled[idx] = false;
+                    let s = &mut self.sms[idx];
+                    // Cancel any in-flight handoff; the SM drains and is
+                    // released (phase 4) once its resident blocks finish.
+                    s.pending_owner = None;
+                    if s.owner.is_some() && s.is_empty() {
+                        s.request_handoff(None);
+                    }
+                }
+                FaultKind::EnableSm { sm } => {
+                    let idx = sm as usize;
+                    if !self.sm_enabled[idx] {
+                        self.sm_enabled[idx] = true;
+                        self.hand_recovered_sm(sm);
+                    }
+                }
+                FaultKind::MemLatency {
+                    extra_l2,
+                    extra_dram,
+                } => self.memsys.set_extra_latency(extra_l2, extra_dram),
+                FaultKind::MshrCap { cap } => self.memsys.set_mshr_cap(cap),
+            }
+        }
+    }
+
+    /// Hands a re-enabled SM to the running application with the fewest
+    /// effective SMs (deterministic tie-break: lowest app id).
+    fn hand_recovered_sm(&mut self, sm: u32) {
+        let mut best: Option<(u32, AppId)> = None;
+        for i in 0..self.apps.len() {
+            if self.apps[i].finished {
+                continue;
+            }
+            let id = AppId(i as u16);
+            let cnt = self.sm_count(id);
+            let better = match best {
+                None => true,
+                Some((c, _)) => cnt < c,
+            };
+            if better {
+                best = Some((cnt, id));
+            }
+        }
+        if let Some((_, id)) = best {
+            self.sms[sm as usize].request_handoff(Some(id));
+        }
+    }
+
     /// Earliest cycle at which any component could next change state:
-    /// the soonest SM wake-up or memory-system event. `None` means
-    /// nothing will ever happen again (deadlock if work remains).
+    /// the soonest SM wake-up, memory-system event, or scheduled fault.
+    /// `None` means nothing will ever happen again (deadlock if work
+    /// remains).
     fn next_horizon(&self) -> Option<u64> {
         let sm_wake = self.sms.iter().filter_map(|sm| sm.next_wake()).min();
         let mem_ev = self.memsys.next_event(self.cycle);
-        match (sm_wake, mem_ev) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        let fault_ev = self.fault_plan.as_ref().and_then(|p| p.next_cycle());
+        let mut ev: Option<u64> = None;
+        for cand in [sm_wake, mem_ev, fault_ev].into_iter().flatten() {
+            ev = Some(match ev {
+                None => cand,
+                Some(e) => e.min(cand),
+            });
         }
+        ev
     }
 
     /// True when the cycle just stepped left nothing issuable: no SM has
@@ -471,7 +690,7 @@ impl Gpu {
         }
         while !self.all_done() {
             if self.cycle >= max_cycles {
-                return Err(SimError::Timeout { cycle: self.cycle });
+                return Err(self.timeout_error());
             }
             self.step();
             if self.all_done() {
@@ -480,16 +699,23 @@ impl Gpu {
 
             match self.step_mode {
                 StepMode::Cycle => {
-                    // Fast-forward pure sleep phases.
+                    // Fast-forward pure sleep phases, never past a
+                    // scheduled fault.
                     if self.memsys.is_idle() && self.quiescent_now() {
-                        match self.sms.iter().filter_map(|sm| sm.next_wake()).min() {
-                            Some(wake) if wake > self.cycle => {
-                                self.cycle = wake;
-                                self.stats.cycles = wake;
+                        let wake = self.sms.iter().filter_map(|sm| sm.next_wake()).min();
+                        let fault = self.fault_plan.as_ref().and_then(|p| p.next_cycle());
+                        let target = match (wake, fault) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        match target {
+                            Some(to) if to > self.cycle => {
+                                self.cycle = to;
+                                self.stats.cycles = to;
                             }
                             Some(_) => {}
                             None => {
-                                return Err(SimError::Deadlock { cycle: self.cycle });
+                                return Err(self.deadlock_error());
                             }
                         }
                     }
@@ -506,7 +732,7 @@ impl Gpu {
                             }
                             Some(_) => {}
                             None => {
-                                return Err(SimError::Deadlock { cycle: self.cycle });
+                                return Err(self.deadlock_error());
                             }
                         }
                     }
@@ -551,15 +777,17 @@ impl Gpu {
         }
     }
 
-    /// True if some undispatched block could be placed this cycle.
+    /// True if some undispatched block could be placed this cycle
+    /// (out-of-service SMs never accept blocks).
     fn dispatch_possible(&self) -> bool {
-        self.sms.iter().any(|sm| {
-            sm.owner.is_some_and(|o| {
-                let app = &self.apps[usize::from(o.0)];
-                app.next_block < app.kernel.grid_blocks
-                    && sm.pending_owner.is_none()
-                    && sm.can_take_block(&app.kernel, &self.cfg)
-            })
+        self.sms.iter().enumerate().any(|(i, sm)| {
+            self.sm_enabled[i]
+                && sm.owner.is_some_and(|o| {
+                    let app = &self.apps[usize::from(o.0)];
+                    app.next_block < app.kernel.grid_blocks
+                        && sm.pending_owner.is_none()
+                        && sm.can_take_block(&app.kernel, &self.cfg)
+                })
         })
     }
 
@@ -772,6 +1000,121 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SimError::Timeout { cycle: 5 }.to_string().contains('5'));
+        let err = SimError::Timeout {
+            cycle: 5,
+            diag: Default::default(),
+        };
+        assert!(err.to_string().contains('5'));
+    }
+
+    #[test]
+    fn sm_disable_drains_and_survivors_shrink() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(mem_kernel("a", 32, 1 << 22)).unwrap();
+        gpu.partition_even();
+        gpu.install_fault_plan(FaultPlan::new().disable_sm(100, 3))
+            .unwrap();
+        gpu.run_for(150);
+        // The outage cycle has fired: SM 3 is out of the surviving set
+        // and no longer counts toward the app's share.
+        assert!(!gpu.sm_in_service(3));
+        assert_eq!(gpu.num_enabled_sms(), 7);
+        assert_eq!(gpu.sm_count(a), 7);
+        assert_eq!(gpu.surviving_sms(), [0, 1, 2, 4, 5, 6, 7]);
+        gpu.run(20_000_000).unwrap();
+        assert!(gpu.all_done());
+        // Drained out of service: released, still disabled.
+        assert!(gpu.sms[3].owner.is_none());
+    }
+
+    #[test]
+    fn sm_reenable_hands_sm_to_neediest_app() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(mem_kernel("a", 64, 1 << 22)).unwrap();
+        let b = gpu.launch(mem_kernel("b", 64, 1 << 22)).unwrap();
+        gpu.partition_even();
+        gpu.install_fault_plan(FaultPlan::new().disable_sm(50, 0).enable_sm(5_000, 0))
+            .unwrap();
+        gpu.run_for(5_001);
+        assert!(gpu.sm_in_service(0));
+        // SM 0 came back to app `a` (3 SMs vs b's 4 after the outage).
+        assert_eq!(gpu.sm_count(a) + gpu.sm_count(b), 8);
+        gpu.run(40_000_000).unwrap();
+        assert!(gpu.all_done());
+    }
+
+    #[test]
+    fn fault_replay_is_bit_identical_across_step_modes() {
+        let run_with = |mode: StepMode| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            gpu.set_step_mode(mode);
+            gpu.launch(mem_kernel("a", 24, 1 << 22)).unwrap();
+            gpu.launch(alu_kernel("b", 24)).unwrap();
+            gpu.partition_even();
+            let plan = FaultPlan::new()
+                .disable_sm(400, 1)
+                .enable_sm(3_000, 1)
+                .mem_latency_window(800, 2_000, 30, 90)
+                .mshr_window(1_000, 2_500, 4);
+            gpu.install_fault_plan(plan).unwrap();
+            gpu.run(40_000_000).unwrap();
+            (gpu.cycle(), gpu.stats().clone())
+        };
+        let (c1, s1) = run_with(StepMode::Cycle);
+        let (c2, s2) = run_with(StepMode::EventHorizon);
+        assert_eq!(c1, c2, "final cycles diverge across step modes");
+        assert_eq!(s1, s2, "stats diverge across step modes");
+    }
+
+    #[test]
+    fn all_sm_outage_rejected_at_install() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let mut plan = FaultPlan::new();
+        for sm in 0..8 {
+            plan = plan.disable_sm(10 + sm, sm as u32);
+        }
+        assert!(matches!(
+            gpu.install_fault_plan(plan),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn mem_latency_fault_slows_memory_bound_app() {
+        let run_with = |plan: Option<FaultPlan>| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            let app = gpu.launch(mem_kernel("a", 24, 1 << 22)).unwrap();
+            gpu.partition_even();
+            if let Some(p) = plan {
+                gpu.install_fault_plan(p).unwrap();
+            }
+            gpu.run(40_000_000).unwrap();
+            gpu.stats().app(app).runtime_cycles()
+        };
+        let healthy = run_with(None);
+        let degraded = run_with(Some(FaultPlan::new().mem_latency_window(
+            0,
+            u64::MAX,
+            200,
+            600,
+        )));
+        assert!(
+            degraded > healthy,
+            "latency fault had no effect: {degraded} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_capture_device_shape() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        gpu.launch(mem_kernel("a", 16, 1 << 22)).unwrap();
+        gpu.partition_even();
+        gpu.run_for(50);
+        let diag = gpu.diagnostics();
+        assert_eq!(diag.cycle, 50);
+        assert_eq!(diag.sms.len(), 8);
+        assert_eq!(diag.slices.len(), 2);
+        assert_eq!(diag.enabled_sms(), 8);
+        assert!(diag.to_string().contains("8/8 SMs enabled"));
     }
 }

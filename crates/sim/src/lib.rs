@@ -53,6 +53,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod gpu;
 pub mod kernel;
 pub mod memsys;
@@ -64,6 +65,7 @@ pub mod trace;
 pub mod warp;
 
 pub use config::GpuConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use gpu::{Gpu, SimError, StepMode};
 pub use kernel::{AccessPattern, AppId, KernelDesc, Op, PatternId, PatternKind};
-pub use stats::{AppStats, SimStats};
+pub use stats::{AppStats, DiagSnapshot, SimStats, SliceDiag, SmDiag};

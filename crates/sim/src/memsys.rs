@@ -143,8 +143,10 @@ impl DramCtrl {
 }
 
 /// Miss-status holding registers per slice: outstanding DRAM reads keyed
-/// by line address, with the requests merged onto each fill.
-const MSHRS_PER_SLICE: usize = 64;
+/// by line address, with the requests merged onto each fill. The live
+/// limit is [`MemSys::mshr_cap`]; a fault plan can throttle it below
+/// this nominal capacity.
+const MSHRS_PER_SLICE: usize = GpuConfig::MAX_MSHRS_PER_SLICE as usize;
 
 #[derive(Debug)]
 struct Slice {
@@ -172,6 +174,13 @@ pub struct MemSys {
     responses: BinaryHeap<Reverse<(u64, u32, u32)>>,
     line_bytes: u64,
     row_bytes: u64,
+    /// Fault-injected extra L2 access latency (0 = nominal).
+    extra_l2_lat: u64,
+    /// Fault-injected extra DRAM data latency (0 = nominal). Inflates
+    /// data return time only; bank occupancy and bus rate stay nominal.
+    extra_dram_lat: u64,
+    /// Live per-slice MSHR limit, `<= MSHRS_PER_SLICE`.
+    mshr_cap: usize,
 }
 
 impl MemSys {
@@ -193,7 +202,29 @@ impl MemSys {
             cfg: cfg.clone(),
             slices,
             responses: BinaryHeap::new(),
+            extra_l2_lat: 0,
+            extra_dram_lat: 0,
+            mshr_cap: MSHRS_PER_SLICE,
         }
+    }
+
+    /// Sets fault-injected extra latency on every L2 access and DRAM
+    /// data return. `(0, 0)` restores nominal timing.
+    pub fn set_extra_latency(&mut self, extra_l2: u32, extra_dram: u32) {
+        self.extra_l2_lat = u64::from(extra_l2);
+        self.extra_dram_lat = u64::from(extra_dram);
+    }
+
+    /// Throttles the per-slice MSHR limit, clamped to
+    /// `[1, MAX_MSHRS_PER_SLICE]`. Entries already in flight stay live;
+    /// the cap only gates new allocations.
+    pub fn set_mshr_cap(&mut self, cap: u32) {
+        self.mshr_cap = (cap.max(1) as usize).min(MSHRS_PER_SLICE);
+    }
+
+    /// Current per-slice MSHR limit.
+    pub fn mshr_cap(&self) -> usize {
+        self.mshr_cap
     }
 
     /// Slice an address routes to (row-interleaved so streams keep
@@ -223,7 +254,9 @@ impl MemSys {
     pub fn tick(&mut self, now: u64, stats: &mut SimStats) {
         let num_slices = self.slices.len() as u64;
         let icnt = u64::from(self.cfg.icnt_lat);
-        let l2_lat = u64::from(self.cfg.l2_lat);
+        let l2_lat = u64::from(self.cfg.l2_lat) + self.extra_l2_lat;
+        let extra_dram = self.extra_dram_lat;
+        let mshr_cap = self.mshr_cap;
         for slice in &mut self.slices {
             if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
                 debug_assert!(slice.mshr.is_empty());
@@ -285,7 +318,7 @@ impl MemSys {
                         }
                         Access::Miss
                             if !dram_full
-                                && (req.is_write || slice.mshr.len() < MSHRS_PER_SLICE) =>
+                                && (req.is_write || slice.mshr.len() < mshr_cap) =>
                         {
                             if !req.is_write {
                                 let mut waiters = slice.mshr_pool.pop().unwrap_or_default();
@@ -362,7 +395,7 @@ impl MemSys {
                         self.cfg.dram.t_rc
                     });
                     let start = now.max(bank.ready_at);
-                    let done = start + lat;
+                    let done = start + lat + extra_dram;
                     bank.open_row = global_row;
                     bank.ready_at = start + occupancy;
                     slice.ctrl.bus_free_at = now + u64::from(self.cfg.dram.t_burst);
@@ -519,6 +552,19 @@ impl MemSys {
                 .slices
                 .iter()
                 .all(|s| s.input.is_empty() && s.ctrl.queue.is_empty() && s.mshr.is_empty())
+    }
+
+    /// Appends one [`SliceDiag`](crate::stats::SliceDiag) per slice —
+    /// queue depths and MSHR occupancy for error snapshots.
+    pub fn slice_diags(&self, out: &mut Vec<crate::stats::SliceDiag>) {
+        for (i, s) in self.slices.iter().enumerate() {
+            out.push(crate::stats::SliceDiag {
+                id: i as u32,
+                input_depth: s.input.len() as u32,
+                dram_queue_depth: s.ctrl.queue.len() as u32,
+                mshr_used: s.mshr.len() as u32,
+            });
+        }
     }
 
     /// Aggregate L2 hit rate across slices (diagnostics).

@@ -99,6 +99,11 @@ impl Sm {
         self.warps.len() as u32 - self.free_slots
     }
 
+    /// Number of warps currently ready to issue (diagnostics).
+    pub fn ready_warps(&self) -> u32 {
+        self.ready_count
+    }
+
     /// True when no warp is resident.
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()

@@ -174,6 +174,72 @@ impl SimStats {
     }
 }
 
+/// Per-SM state captured in a [`DiagSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmDiag {
+    /// SM index.
+    pub id: u32,
+    /// Warps currently ready to issue.
+    pub ready_warps: u32,
+    /// Warps resident (ready or blocked on memory).
+    pub live_warps: u32,
+    /// Owning application slot, if any.
+    pub owner: Option<u16>,
+    /// Whether the SM is in service (false while fault-disabled).
+    pub enabled: bool,
+}
+
+/// Per-L2-slice / memory-controller state captured in a
+/// [`DiagSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceDiag {
+    /// Slice / controller index.
+    pub id: u32,
+    /// Requests queued at the slice input.
+    pub input_depth: u32,
+    /// Requests live in the DRAM controller queue.
+    pub dram_queue_depth: u32,
+    /// MSHR entries in use.
+    pub mshr_used: u32,
+}
+
+/// A structured snapshot of device state, attached to
+/// [`SimError`](crate::gpu::SimError) so a timeout or deadlock reports
+/// *where* the machine was stuck instead of just when.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagSnapshot {
+    /// Device cycle at capture.
+    pub cycle: u64,
+    /// One entry per SM.
+    pub sms: Vec<SmDiag>,
+    /// One entry per L2 slice / memory controller.
+    pub slices: Vec<SliceDiag>,
+}
+
+impl DiagSnapshot {
+    /// Number of SMs in service at capture.
+    pub fn enabled_sms(&self) -> u32 {
+        self.sms.iter().filter(|s| s.enabled).count() as u32
+    }
+}
+
+impl std::fmt::Display for DiagSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready: u32 = self.sms.iter().map(|s| s.ready_warps).sum();
+        let live: u32 = self.sms.iter().map(|s| s.live_warps).sum();
+        let dram: u32 = self.slices.iter().map(|s| s.dram_queue_depth).sum();
+        let l2in: u32 = self.slices.iter().map(|s| s.input_depth).sum();
+        let mshr: u32 = self.slices.iter().map(|s| s.mshr_used).sum();
+        write!(
+            f,
+            "{}/{} SMs enabled, {ready} ready / {live} live warps, \
+             {l2in} L2-queued, {dram} DRAM-queued, {mshr} MSHRs in use",
+            self.enabled_sms(),
+            self.sms.len(),
+        )
+    }
+}
+
 /// A snapshot of the windowed quantities SMRA consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Window {

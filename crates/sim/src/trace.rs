@@ -113,7 +113,7 @@ impl WindowTrace {
     ) -> Result<(), crate::SimError> {
         while !gpu.all_done() {
             if gpu.cycle() >= max_cycles {
-                return Err(crate::SimError::Timeout { cycle: gpu.cycle() });
+                return Err(gpu.timeout_error());
             }
             self.step_window(gpu);
         }

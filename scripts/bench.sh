@@ -15,6 +15,13 @@
 #                               numbers are noisy, only checks that every
 #                               benchmark still runs and emits JSON
 #
+# A full run also compares the fresh numbers against the committed
+# BENCH_sim.json baseline: every device bench runs with no fault plan
+# installed, so the fault-injection layer must stay zero-cost on the
+# healthy path (one branch per step). A bench whose min_ns exceeds the
+# baseline by more than BENCH_TOLERANCE (default 1.6x, generous for
+# shared machines) fails the script. Smoke runs skip the comparison.
+#
 # Offline by construction, like scripts/ci.sh.
 
 set -euo pipefail
@@ -38,7 +45,15 @@ fi
 
 OUT=BENCH_sim.json
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+BASELINE=$(mktemp)
+trap 'rm -f "$RAW" "$BASELINE"' EXIT
+
+# Snapshot the committed baseline before overwriting it.
+HAVE_BASELINE=0
+if [ "$SMOKE" -eq 0 ] && [ -f "$OUT" ]; then
+    cp "$OUT" "$BASELINE"
+    HAVE_BASELINE=1
+fi
 
 echo "==> cargo bench --bench simulator"
 cargo bench --bench simulator | tee "$RAW"
@@ -80,3 +95,30 @@ awk -v sweep_secs="$SWEEP_SECS" '
 
 echo
 echo "wrote $OUT ($(grep -c mean_ns "$OUT") benches, cold sweep ${SWEEP_SECS}s)"
+
+# Regression gate vs the previous baseline (fault layer must stay
+# zero-cost on the healthy path; min_ns is the least noisy statistic).
+if [ "$HAVE_BASELINE" -eq 1 ]; then
+    echo "==> regression check vs committed baseline (tolerance ${BENCH_TOLERANCE:-1.6}x)"
+    awk -v tol="${BENCH_TOLERANCE:-1.6}" '
+        function parse(line,   name, min) {
+            name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
+            min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
+            return name SUBSEP min
+        }
+        /"min_ns"/ {
+            split(parse($0), kv, SUBSEP)
+            if (NR == FNR) { base[kv[1]] = kv[2]; next }
+            if (kv[1] in base && base[kv[1]] > 0 && kv[2] > base[kv[1]] * tol) {
+                printf "REGRESSION %s: min_ns %s vs baseline %s (> %sx)\n",
+                       kv[1], kv[2], base[kv[1]], tol
+                bad = 1
+            }
+        }
+        END { exit bad }
+    ' "$BASELINE" "$OUT" || {
+        echo "benchmark regression vs BENCH_sim.json baseline" >&2
+        exit 1
+    }
+    echo "no regressions"
+fi

@@ -11,6 +11,10 @@
 #   scripts/ci.sh --bench-smoke also run scripts/bench.sh --smoke after the
 #                               gate (checks the benchmarks still run; the
 #                               timings themselves are not gated)
+#   scripts/ci.sh --chaos-smoke fault-injection gate only: runs the
+#                               tests/chaos.rs suite (DESIGN.md §9) and
+#                               exits — a fast standalone check that the
+#                               degradation paths still hold
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -23,11 +27,13 @@ export CARGO_NET_OFFLINE=true
 
 QUICK=0
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke]" >&2; exit 2 ;;
+        --chaos-smoke) CHAOS_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -35,6 +41,14 @@ step() {
     echo
     echo "==> $*"
 }
+
+if [ "$CHAOS_SMOKE" -eq 1 ]; then
+    step "chaos smoke (tests/chaos.rs: fault injection + degradation)"
+    cargo test -q -p gcs-core --test chaos
+    echo
+    echo "chaos smoke passed"
+    exit 0
+fi
 
 step "build (release)"
 cargo build --release
