@@ -1,0 +1,92 @@
+//! Micro-benchmarks for the online scheduling layer (`gcs_sched`):
+//! epoch-plan cost per policy and the discrete-event loop itself with
+//! co-run measurements served from the warm memo cache. The loop must
+//! stay cheap relative to the simulations it dispatches — scheduling
+//! overhead is pure loss from the device's point of view.
+//!
+//! Runs on the internal `gcs_bench::timing` harness; collected into
+//! `BENCH_sched.json` by `scripts/bench.sh` and regression-gated the
+//! same way as `BENCH_sim.json`.
+
+use std::sync::Arc;
+
+use gcs_bench::timing::bench;
+use gcs_core::interference::InterferenceMatrix;
+use gcs_core::runner::{AllocationPolicy, Pipeline, RunConfig};
+use gcs_core::SweepEngine;
+use gcs_sched::{Job, OnlineScheduler, PolicyKind, SchedConfig};
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::{ArrivalTrace, Benchmark, Scale};
+
+fn pipeline() -> Pipeline {
+    let cfg = RunConfig {
+        gpu: GpuConfig::test_small(),
+        scale: Scale::TEST,
+        concurrency: 2,
+    };
+    Pipeline::with_matrix_and_engine(
+        cfg,
+        InterferenceMatrix::synthetic_paper_shape(),
+        Arc::new(SweepEngine::sequential()),
+    )
+    .expect("pipeline")
+}
+
+fn pending_14() -> Vec<Job> {
+    gcs_core::queues::thesis_queue_14()
+        .into_iter()
+        .enumerate()
+        .map(|(id, bench)| Job {
+            id,
+            bench,
+            arrival: id as u64,
+        })
+        .collect()
+}
+
+fn main() {
+    let p = pipeline();
+    let pending = pending_14();
+
+    // Epoch-plan cost over a full thesis-mix census: the ILP solve is
+    // the expensive epoch step; greedy and FCFS are the cheap floors it
+    // must stay worth paying for.
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build();
+        bench(&format!("sched/plan/{}_census_14", kind.name()), || {
+            policy.plan(&p, std::hint::black_box(&pending)).expect("plan")
+        });
+    }
+
+    // Trace generation: 1k Poisson arrivals through the deterministic
+    // ln path (platform-stable math is only worth it if it stays fast).
+    bench("sched/trace/poisson_1k", || {
+        ArrivalTrace::poisson(&Benchmark::ALL, 1_000, 10_000.0, 42).len()
+    });
+
+    // The full event loop over a 20-job trace with every co-run served
+    // from the warm memo cache: what remains is admission, planning and
+    // event bookkeeping — the scheduler's own overhead.
+    let trace = ArrivalTrace::poisson(&Benchmark::ALL, 20, 30_000.0, 42);
+    let mut loop_p = pipeline();
+    let cfg = SchedConfig {
+        num_gpus: 2,
+        queue_capacity: 20,
+        alloc: AllocationPolicy::Even,
+        replan_interval: None,
+    };
+    // Warm the memo cache outside the timed region.
+    let mut warm = PolicyKind::IlpEpoch.build();
+    OnlineScheduler::new(&mut loop_p, cfg)
+        .expect("config")
+        .run(&trace, warm.as_mut())
+        .expect("warmup run");
+    bench("sched/loop/trace20_ilp_warm_cache", || {
+        let mut policy = PolicyKind::IlpEpoch.build();
+        OnlineScheduler::new(&mut loop_p, cfg)
+            .expect("config")
+            .run(&trace, policy.as_mut())
+            .expect("run")
+            .makespan
+    });
+}

@@ -200,6 +200,91 @@ mod tests {
     }
 
     #[test]
+    fn census_of_empty_queue_is_zero() {
+        assert_eq!(census(&[]), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn census_counts_duplicates_per_class() {
+        // GUPS and BLK are both class M (Table 3.2); duplicates must
+        // accumulate, not dedupe.
+        let q = vec![Benchmark::Gups, Benchmark::Gups, Benchmark::Blk];
+        assert_eq!(census(&q)[AppClass::M.index()], 3);
+        assert_eq!(census(&q).iter().sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn class_counts_handles_zero_length() {
+        for dist in Distribution::ALL {
+            let c = dist.class_counts(0);
+            assert_eq!(c, [0, 0, 0, 0], "{dist:?} at len 0");
+        }
+    }
+
+    #[test]
+    fn class_counts_cover_indivisible_lengths() {
+        // Lengths not divisible by the class count (4) or by the 55/15
+        // split must still sum exactly, with no class going negative
+        // (u32 underflow would wrap and explode the sum).
+        for dist in Distribution::ALL {
+            for len in [1, 2, 3, 5, 7, 9, 13, 17, 19, 23, 31, 97] {
+                let c = dist.class_counts(len);
+                assert_eq!(c.iter().sum::<u32>(), len, "{dist:?} at {len}: {c:?}");
+            }
+        }
+        // The heavy class actually dominates once the queue is big
+        // enough for the split to resolve.
+        for dist in [
+            Distribution::MHeavy,
+            Distribution::McHeavy,
+            Distribution::CHeavy,
+            Distribution::AHeavy,
+        ] {
+            let c = dist.class_counts(19);
+            let heavy = *c.iter().max().unwrap();
+            assert!(heavy >= 10, "{dist:?} at 19: {c:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_queues_handle_edge_lengths() {
+        for dist in Distribution::ALL {
+            assert!(queue_with_distribution_seeded(dist, 0, 3).is_empty());
+            let one = queue_with_distribution_seeded(dist, 1, 3);
+            assert_eq!(one.len(), 1);
+            // Indivisible length: census still matches the declared
+            // class counts exactly.
+            let q = queue_with_distribution_seeded(dist, 17, 3);
+            assert_eq!(q.len(), 17);
+            assert_eq!(census(&q), dist.class_counts(17), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_queues_are_deterministic_across_calls() {
+        for dist in Distribution::ALL {
+            for seed in [0, 1, 7, u64::MAX] {
+                let a = queue_with_distribution_seeded(dist, 20, seed);
+                let b = queue_with_distribution_seeded(dist, 20, seed);
+                assert_eq!(a, b, "{dist:?} seed {seed} must replay identically");
+            }
+            // Different seeds permute the same multiset.
+            let a = queue_with_distribution_seeded(dist, 20, 1);
+            let b = queue_with_distribution_seeded(dist, 20, 2);
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            sa.sort_unstable();
+            sb.sort_unstable();
+            assert_eq!(sa, sb, "{dist:?}: seeds must not change the census");
+        }
+        // Seed 0 is the unseeded default.
+        assert_eq!(
+            queue_with_distribution(Distribution::Equal, 20),
+            queue_with_distribution_seeded(Distribution::Equal, 20, 0)
+        );
+    }
+
+    #[test]
     fn arrival_order_is_shuffled_and_stable() {
         let q1 = thesis_queue_14();
         let q2 = thesis_queue_14();

@@ -330,6 +330,19 @@ impl Pipeline {
         let head = &queue[..usable as usize];
         let tail = &queue[usable as usize..];
 
+        // A queue shorter than one group has nothing for the ILP to
+        // decide (and the solver rejects an empty census): the whole
+        // queue is the remainder group. The online scheduler leans on
+        // this — a near-drained admission queue must still dispatch.
+        if head.is_empty() {
+            let groups = if tail.is_empty() {
+                Vec::new()
+            } else {
+                vec![tail.to_vec()]
+            };
+            return Ok((groups, Vec::new()));
+        }
+
         let mut census = [0u32; AppClass::COUNT];
         for &b in head {
             census[self.class_of(b).index()] += 1;
@@ -373,13 +386,37 @@ impl Pipeline {
         Ok((groups, degradations))
     }
 
+    /// Deterministic class-aware greedy grouping over an arbitrary
+    /// queue — the standalone version of the ILP's degradation path,
+    /// exposed so online schedulers can form groups over a live
+    /// admission census without paying for a solve. The largest
+    /// `concurrency`-divisible prefix is grouped greedily (see
+    /// [`Pipeline::group_with_degradations`]'s fallback); any remainder
+    /// becomes one final FCFS group, mirroring the ILP path's tail rule.
+    pub fn group_greedy_class(&self, queue: &[Benchmark]) -> Vec<Vec<Benchmark>> {
+        let nc = self.cfg.concurrency.max(1);
+        let usable = (queue.len() as u32 / nc) * nc;
+        let (head, tail) = queue.split_at(usable as usize);
+        let mut groups = self.group_greedy(head, nc);
+        if !tail.is_empty() {
+            groups.push(tail.to_vec());
+        }
+        groups
+    }
+
     /// Greedy class-aware fallback grouping for when the ILP cannot
     /// produce a solution: sort the head by class (memory-bound first,
     /// FCFS within a class), then form each group from one app at the
     /// memory-bound end plus `nc - 1` from the compute-bound end. This
     /// spreads the most contentious apps across groups — the same
     /// intuition Eq. 3.3 optimizes exactly — and is deterministic.
+    ///
+    /// `head.len()` must be a multiple of `nc`.
     fn group_greedy(&self, head: &[Benchmark], nc: u32) -> Vec<Vec<Benchmark>> {
+        debug_assert!(
+            (head.len() as u32).is_multiple_of(nc),
+            "head must be divisible"
+        );
         let mut sorted: Vec<Benchmark> = head.to_vec();
         sorted.sort_by_key(|&b| self.class_of(b).index());
         let mut groups = Vec::with_capacity(sorted.len() / nc as usize);
@@ -574,6 +611,9 @@ fn interpolate(curve: &[(u32, f64)], sms: u32) -> f64 {
 /// measuring interference) and runs `queue`. Prefer constructing a
 /// [`Pipeline`] once when running several policies.
 ///
+/// This is a thin delegate to [`Pipeline::run_queue`] — it carries no
+/// execution logic of its own, so the two paths can never diverge.
+///
 /// # Errors
 ///
 /// Propagates pipeline construction and execution errors.
@@ -640,6 +680,50 @@ mod tests {
         let groups = p.group(&q, GroupingPolicy::Fcfs).unwrap();
         assert_eq!(groups[0], vec![Benchmark::Blk, Benchmark::Gups]);
         assert_eq!(groups[1], vec![Benchmark::Hs, Benchmark::Sad]);
+    }
+
+    #[test]
+    fn grouping_handles_empty_and_short_queues() {
+        // The online scheduler plans over a live admission queue that
+        // can be empty or shorter than one group; no policy may error.
+        let p = test_pipeline();
+        for policy in [GroupingPolicy::Serial, GroupingPolicy::Fcfs, GroupingPolicy::Ilp] {
+            let (groups, degradations) = p
+                .group_with_degradations(&[], policy)
+                .unwrap_or_else(|e| panic!("{policy:?} on empty queue: {e}"));
+            assert!(groups.is_empty(), "{policy:?}");
+            assert!(degradations.is_empty(), "{policy:?}");
+
+            let (groups, degradations) = p
+                .group_with_degradations(&[Benchmark::Gups], policy)
+                .unwrap_or_else(|e| panic!("{policy:?} on singleton queue: {e}"));
+            assert_eq!(groups, vec![vec![Benchmark::Gups]], "{policy:?}");
+            assert!(degradations.is_empty(), "short queue is not a degradation");
+        }
+    }
+
+    #[test]
+    fn greedy_class_grouping_is_public_and_total() {
+        let p = test_pipeline();
+        assert!(p.group_greedy_class(&[]).is_empty());
+        // Indivisible queue: greedy head + FCFS remainder group.
+        let q = vec![
+            Benchmark::Gups,
+            Benchmark::Sad,
+            Benchmark::Spmv,
+            Benchmark::Lud,
+            Benchmark::Hs,
+        ];
+        let groups = p.group_greedy_class(&q);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[2], vec![Benchmark::Hs], "remainder is the tail");
+        let mut flat: Vec<Benchmark> = groups.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        let mut want = q.clone();
+        want.sort_unstable();
+        assert_eq!(flat, want, "greedy grouping lost or duplicated apps");
+        // Deterministic.
+        assert_eq!(groups, p.group_greedy_class(&q));
     }
 
     #[test]

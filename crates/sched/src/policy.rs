@@ -1,0 +1,233 @@
+//! Pluggable epoch-planning policies.
+//!
+//! A policy answers one question: *given the jobs currently waiting,
+//! in what groups should they run?* The scheduler calls
+//! [`Policy::plan`] lazily — only when it is about to dispatch and the
+//! cached plan was invalidated by new admissions (or a re-plan tick) —
+//! then consumes the plan's groups front-to-back as devices free up.
+//!
+//! Consuming a stale-but-uninvalidated plan is *equivalent* to
+//! re-solving: the paper's grouping objective (Eq. 3.3) decomposes
+//! additively over groups, so the optimal partition of the remaining
+//! jobs is exactly the remaining groups of the optimal partition of the
+//! original set. That equivalence is what makes the all-at-`t=0`,
+//! one-GPU [`IlpEpoch`] run reproduce the batch
+//! [`Pipeline::run_queue`](gcs_core::runner::Pipeline::run_queue)
+//! bit-for-bit (pinned in `tests/sched.rs`).
+
+use gcs_core::fault::Degradation;
+use gcs_core::runner::{GroupingPolicy, Pipeline};
+use gcs_core::CoreError;
+use gcs_workloads::Benchmark;
+
+use crate::queue::{Job, JobId};
+
+/// The groups a policy wants dispatched, front first, plus any
+/// downgrades it took while planning (e.g. the ILP degrading to
+/// greedy).
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Groups of job ids, in dispatch order. Every pending job appears
+    /// exactly once; no group is empty.
+    pub groups: Vec<Vec<JobId>>,
+    /// Downgrades taken while planning.
+    pub degradations: Vec<Degradation>,
+}
+
+/// An epoch-grouping strategy over the pending admission queue.
+pub trait Policy {
+    /// Short stable name used in reports and result file names.
+    fn name(&self) -> &'static str;
+
+    /// Partitions `pending` (arrival order) into dispatch groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors (e.g. a hard ILP failure that cannot
+    /// degrade).
+    fn plan(&mut self, pipeline: &Pipeline, pending: &[Job]) -> Result<Plan, CoreError>;
+}
+
+/// First-come-first-served: chunk the queue into groups of
+/// `concurrency` in arrival order — the paper's baseline, unaware of
+/// application classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl Policy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn plan(&mut self, pipeline: &Pipeline, pending: &[Job]) -> Result<Plan, CoreError> {
+        let nc = pipeline.config().concurrency.max(1) as usize;
+        Ok(Plan {
+            groups: pending
+                .chunks(nc)
+                .map(|c| c.iter().map(|j| j.id).collect())
+                .collect(),
+            degradations: Vec::new(),
+        })
+    }
+}
+
+/// Class-aware greedy pairing: one memory-bound app per group, filled
+/// with compute-bound apps — the ILP's own degradation heuristic,
+/// promoted to a first-class policy (cheap: no solve).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyClass;
+
+impl Policy for GreedyClass {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn plan(&mut self, pipeline: &Pipeline, pending: &[Job]) -> Result<Plan, CoreError> {
+        let benches: Vec<Benchmark> = pending.iter().map(|j| j.bench).collect();
+        let groups = pipeline.group_greedy_class(&benches);
+        Ok(Plan {
+            groups: ids_for_groups(pending, &groups),
+            degradations: Vec::new(),
+        })
+    }
+}
+
+/// Re-solve the paper's grouping ILP over the current queue census at
+/// every epoch, degrading to [`GreedyClass`]'s heuristic exactly as the
+/// batch pipeline does (the downgrade is recorded in the plan).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IlpEpoch;
+
+impl Policy for IlpEpoch {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+
+    fn plan(&mut self, pipeline: &Pipeline, pending: &[Job]) -> Result<Plan, CoreError> {
+        let benches: Vec<Benchmark> = pending.iter().map(|j| j.bench).collect();
+        let (groups, degradations) =
+            pipeline.group_with_degradations(&benches, GroupingPolicy::Ilp)?;
+        Ok(Plan {
+            groups: ids_for_groups(pending, &groups),
+            degradations,
+        })
+    }
+}
+
+/// Maps benchmark groups back to job ids: each group slot takes the
+/// *earliest-arrived unused* pending job running that benchmark. This
+/// is deterministic under duplicates and matches the FCFS-within-class
+/// instantiation the core grouping itself uses.
+///
+/// # Panics
+///
+/// If `groups` is not a permutation of `pending`'s benchmarks — core
+/// grouping guarantees it is, so a miss is a policy bug.
+fn ids_for_groups(pending: &[Job], groups: &[Vec<Benchmark>]) -> Vec<Vec<JobId>> {
+    let mut used = vec![false; pending.len()];
+    groups
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|&bench| {
+                    let k = (0..pending.len())
+                        .find(|&i| !used[i] && pending[i].bench == bench)
+                        .expect("grouping must permute the pending benchmarks");
+                    used[k] = true;
+                    pending[k].id
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Name-addressable policy constructor, for CLIs and result tagging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Fcfs`].
+    Fcfs,
+    /// [`GreedyClass`].
+    GreedyClass,
+    /// [`IlpEpoch`].
+    IlpEpoch,
+}
+
+impl PolicyKind {
+    /// Every policy, baseline first.
+    pub const ALL: [PolicyKind; 3] =
+        [PolicyKind::Fcfs, PolicyKind::GreedyClass, PolicyKind::IlpEpoch];
+
+    /// The stable name ([`Policy::name`]) of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::GreedyClass => "greedy",
+            PolicyKind::IlpEpoch => "ilp",
+        }
+    }
+
+    /// Parses a [`PolicyKind::name`] back into a kind.
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs),
+            PolicyKind::GreedyClass => Box::new(GreedyClass),
+            PolicyKind::IlpEpoch => Box::new(IlpEpoch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(benches: &[Benchmark]) -> Vec<Job> {
+        benches
+            .iter()
+            .enumerate()
+            .map(|(i, &bench)| Job {
+                id: i + 10, // offset: ids need not be slice indices
+                bench,
+                arrival: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ids_map_duplicates_fcfs_within_bench() {
+        let pending = jobs(&[
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Gups,
+            Benchmark::Hs,
+        ]);
+        let groups = vec![
+            vec![Benchmark::Gups, Benchmark::Hs],
+            vec![Benchmark::Gups, Benchmark::Hs],
+        ];
+        let ids = ids_for_groups(&pending, &groups);
+        // Earliest GUPS (id 10) and earliest HS (id 11) go first.
+        assert_eq!(ids, vec![vec![10, 11], vec![12, 13]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permute")]
+    fn ids_reject_non_permutation() {
+        let pending = jobs(&[Benchmark::Gups]);
+        ids_for_groups(&pending, &[vec![Benchmark::Hs]]);
+    }
+
+    #[test]
+    fn kind_roundtrips_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,368 @@
+//! Run outcomes and latency/fairness metrics.
+//!
+//! Everything here is plain data plus arithmetic — no scheduling logic
+//! — so `schedd_sim`, the smoke tests and the equivalence pins all read
+//! from one source of truth. [`SchedReport::to_json`] renders a
+//! canonical, byte-stable document (hand-rolled, like the rest of the
+//! workspace: no serde) so determinism checks can compare reports with
+//! `==` on the string.
+
+use gcs_core::fault::Degradation;
+use gcs_workloads::Benchmark;
+
+use crate::queue::{JobId, Rejection};
+
+/// Final accounting for one job that ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// Trace-order id.
+    pub id: JobId,
+    /// Benchmark the job ran.
+    pub bench: Benchmark,
+    /// Arrival cycle (from the trace).
+    pub arrival: u64,
+    /// Cycle at which the job's group started on a device.
+    pub dispatch: u64,
+    /// Cycle at which the job itself finished (dispatch + its co-run
+    /// cycles; co-runners in the group may finish later).
+    pub completion: u64,
+    /// Device index the group ran on.
+    pub gpu: u32,
+    /// Cycles the job needs running alone on the whole device.
+    pub alone_cycles: u64,
+    /// Cycles the job took inside its co-run group.
+    pub corun_cycles: u64,
+}
+
+impl JobOutcome {
+    /// Cycles spent waiting in the admission queue.
+    pub fn queue_delay(&self) -> u64 {
+        self.dispatch - self.arrival
+    }
+
+    /// Arrival-to-completion cycles.
+    pub fn turnaround(&self) -> u64 {
+        self.completion - self.arrival
+    }
+
+    /// Turnaround normalized by the alone runtime (the per-job term of
+    /// ANTT). Always ≥ 1 in practice: co-running plus queueing can only
+    /// delay a job relative to an idle dedicated device.
+    pub fn normalized_turnaround(&self) -> f64 {
+        self.turnaround() as f64 / self.alone_cycles as f64
+    }
+}
+
+/// One group dispatch: which jobs ran together, where and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDispatch {
+    /// Device index.
+    pub gpu: u32,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Cycle the device became free again (start + group makespan).
+    pub end: u64,
+    /// Member job ids, group order.
+    pub jobs: Vec<JobId>,
+    /// System throughput of this group: Σ alone/corun over members.
+    pub stp: f64,
+}
+
+/// Nearest-rank percentile summary of a cycle-count sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (order irrelevant). All-zero for an empty
+    /// set.
+    pub fn from_samples(samples: &[u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: u64| -> u64 {
+            // Nearest-rank: ceil(p/100 * n) as a 1-based rank.
+            let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+            sorted[rank - 1]
+        };
+        LatencyStats {
+            p50: pct(50),
+            p95: pct(95),
+            p99: pct(99),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Complete outcome of one scheduler run: per-job rows, dispatch log,
+/// rejections, downgrades and derived metrics.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Policy name ([`crate::Policy::name`]).
+    pub policy: String,
+    /// Simulated device count.
+    pub num_gpus: u32,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Completed jobs, ordered by id.
+    pub jobs: Vec<JobOutcome>,
+    /// Jobs turned away at admission, trace order.
+    pub rejections: Vec<Rejection>,
+    /// Group dispatches in dispatch order (ties: device order).
+    pub groups: Vec<GroupDispatch>,
+    /// Downgrades recorded while planning.
+    pub degradations: Vec<Degradation>,
+    /// Cycle at which the last group finished (0 if nothing ran).
+    pub makespan: u64,
+}
+
+impl SchedReport {
+    /// Queueing-delay distribution over completed jobs.
+    pub fn queue_delay_stats(&self) -> LatencyStats {
+        let d: Vec<u64> = self.jobs.iter().map(JobOutcome::queue_delay).collect();
+        LatencyStats::from_samples(&d)
+    }
+
+    /// Turnaround distribution over completed jobs.
+    pub fn turnaround_stats(&self) -> LatencyStats {
+        let d: Vec<u64> = self.jobs.iter().map(JobOutcome::turnaround).collect();
+        LatencyStats::from_samples(&d)
+    }
+
+    /// System throughput: mean over dispatched groups of
+    /// Σ alone/corun — the paper's STP metric applied per epoch group.
+    /// 0 when nothing ran.
+    pub fn stp(&self) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.groups.iter().map(|g| g.stp).sum::<f64>() / self.groups.len() as f64
+    }
+
+    /// Average normalized turnaround time: mean over jobs of
+    /// (completion − arrival) / alone_cycles. Unlike batch ANTT this
+    /// includes queueing delay, which is the point of the online
+    /// formulation. 0 when nothing ran.
+    pub fn antt(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(JobOutcome::normalized_turnaround)
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Canonical JSON rendering: one line per job/group row, stable key
+    /// order, floats in Rust's shortest-round-trip form. Byte-identical
+    /// for identical runs (the determinism tests rely on this).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.jobs.len() * 128);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"policy\": \"{}\",\n", esc(&self.policy)));
+        s.push_str(&format!("  \"num_gpus\": {},\n", self.num_gpus));
+        s.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        s.push_str(&format!("  \"makespan\": {},\n", self.makespan));
+        s.push_str(&format!("  \"stp\": {},\n", fmt_f64(self.stp())));
+        s.push_str(&format!("  \"antt\": {},\n", fmt_f64(self.antt())));
+        let qd = self.queue_delay_stats();
+        s.push_str(&format!("  \"queue_delay\": {},\n", latency_json(&qd)));
+        let ta = self.turnaround_stats();
+        s.push_str(&format!("  \"turnaround\": {},\n", latency_json(&ta)));
+
+        s.push_str("  \"jobs\": [");
+        for (i, j) in self.jobs.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"id\":{},\"bench\":\"{}\",\"arrival\":{},\"dispatch\":{},\"completion\":{},\"gpu\":{},\"alone_cycles\":{},\"corun_cycles\":{}}}",
+                j.id, j.bench, j.arrival, j.dispatch, j.completion, j.gpu,
+                j.alone_cycles, j.corun_cycles,
+            ));
+        }
+        s.push_str(if self.jobs.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"groups\": [");
+        for (i, g) in self.groups.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let ids: Vec<String> = g.jobs.iter().map(|id| id.to_string()).collect();
+            s.push_str(&format!(
+                "    {{\"gpu\":{},\"start\":{},\"end\":{},\"jobs\":[{}],\"stp\":{}}}",
+                g.gpu,
+                g.start,
+                g.end,
+                ids.join(","),
+                fmt_f64(g.stp),
+            ));
+        }
+        s.push_str(if self.groups.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"rejections\": [");
+        for (i, r) in self.rejections.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"job\":{},\"bench\":\"{}\",\"at\":{},\"capacity\":{}}}",
+                r.job, r.bench, r.at, r.capacity,
+            ));
+        }
+        s.push_str(if self.rejections.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"degradations\": [");
+        for (i, d) in self.degradations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!("    \"{}\"", esc(&d.to_string())));
+        }
+        s.push_str(if self.degradations.is_empty() { "]\n" } else { "\n  ]\n" });
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+fn latency_json(l: &LatencyStats) -> String {
+    format!(
+        "{{\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{},\"max\":{}}}",
+        l.p50,
+        l.p95,
+        l.p99,
+        fmt_f64(l.mean),
+        l.max
+    )
+}
+
+/// Shortest-round-trip float rendering with a guaranteed decimal point
+/// (so `1.0` renders as `1.0`, not the integer-looking `1`).
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let l = LatencyStats::from_samples(&samples);
+        assert_eq!(l.p50, 50);
+        assert_eq!(l.p95, 95);
+        assert_eq!(l.p99, 99);
+        assert_eq!(l.max, 100);
+        assert!((l.mean - 50.5).abs() < 1e-12);
+
+        // Tiny sets: every percentile is a real sample, never an
+        // interpolation.
+        let l = LatencyStats::from_samples(&[7]);
+        assert_eq!((l.p50, l.p95, l.p99, l.max), (7, 7, 7, 7));
+        let l = LatencyStats::from_samples(&[3, 9]);
+        assert_eq!(l.p50, 3);
+        assert_eq!(l.p99, 9);
+
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn job_outcome_derived_metrics() {
+        let j = JobOutcome {
+            id: 0,
+            bench: Benchmark::Gups,
+            arrival: 100,
+            dispatch: 150,
+            completion: 350,
+            gpu: 0,
+            alone_cycles: 125,
+            corun_cycles: 200,
+        };
+        assert_eq!(j.queue_delay(), 50);
+        assert_eq!(j.turnaround(), 250);
+        assert!((j.normalized_turnaround() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let report = SchedReport {
+            policy: "ilp".into(),
+            num_gpus: 2,
+            queue_capacity: 8,
+            jobs: vec![JobOutcome {
+                id: 0,
+                bench: Benchmark::Gups,
+                arrival: 0,
+                dispatch: 0,
+                completion: 10,
+                gpu: 0,
+                alone_cycles: 8,
+                corun_cycles: 10,
+            }],
+            rejections: vec![Rejection {
+                job: 1,
+                bench: Benchmark::Hs,
+                at: 5,
+                capacity: 8,
+            }],
+            groups: vec![GroupDispatch {
+                gpu: 0,
+                start: 0,
+                end: 12,
+                jobs: vec![0],
+                stp: 0.8,
+            }],
+            degradations: vec![Degradation::IlpGreedyFallback {
+                reason: "node \"limit\"".into(),
+            }],
+            makespan: 12,
+        };
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "rendering is deterministic");
+        for needle in [
+            "\"policy\": \"ilp\"",
+            "\"num_gpus\": 2",
+            "\"makespan\": 12",
+            "\"bench\":\"GUPS\"",
+            "\"at\":5",
+            "\"stp\":0.8",
+            "\\\"limit\\\"",
+            "\"p99\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Empty report renders valid empty arrays, not dangling commas.
+        let empty = SchedReport {
+            policy: "fcfs".into(),
+            num_gpus: 1,
+            queue_capacity: 4,
+            jobs: vec![],
+            rejections: vec![],
+            groups: vec![],
+            degradations: vec![],
+            makespan: 0,
+        };
+        let j = empty.to_json();
+        assert!(j.contains("\"jobs\": [],"));
+        assert!(j.contains("\"degradations\": []\n"));
+        assert!((empty.stp() - 0.0).abs() < 1e-12);
+        assert!((empty.antt() - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,408 @@
+//! The discrete-event scheduling loop.
+//!
+//! Time is simulated GPU cycles. The loop holds three event sources —
+//! trace arrivals, group completions and optional re-plan interval
+//! ticks — and always advances to the earliest pending one. Events that
+//! share a timestamp are processed in a fixed order so runs are
+//! reproducible regardless of how the tie arose:
+//!
+//! 1. **completions** free their devices,
+//! 2. **admissions** enter the queue in trace order (invalidating any
+//!    cached plan — the census changed),
+//! 3. **dispatch** fills free devices in ascending device order from
+//!    the front of the current plan, planning lazily if none is cached.
+//!
+//! Group execution itself is *measured*, not simulated here: a dispatch
+//! calls [`Pipeline::run_group`], which routes through the memoized
+//! sweep engine, and the resulting per-app cycle counts and group
+//! makespan become the completion events. A device is busy until the
+//! group's makespan elapses; an individual job completes when its own
+//! co-run cycle count elapses (co-runners can finish earlier than the
+//! group holds the device — same semantics as the batch pipeline's
+//! accounting).
+
+use std::collections::VecDeque;
+
+use gcs_core::fault::Degradation;
+use gcs_core::runner::{AllocationPolicy, Pipeline};
+use gcs_workloads::{ArrivalTrace, Benchmark};
+
+use crate::policy::Policy;
+use crate::queue::{AdmissionQueue, Job, JobId, Rejection};
+use crate::report::{GroupDispatch, JobOutcome, SchedReport};
+use crate::SchedError;
+
+/// Knobs for one scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Simulated devices to dispatch onto (≥ 1). Each runs one co-run
+    /// group at a time; all share the pipeline's device model.
+    pub num_gpus: u32,
+    /// Admission-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// SM allocation used for every dispatched group.
+    pub alloc: AllocationPolicy,
+    /// Optional fixed re-plan cadence: every `interval` cycles the
+    /// cached plan is invalidated even without new arrivals, so
+    /// stateful policies get a chance to reconsider. `None` re-plans
+    /// only on admissions (the default, and what the batch-equivalence
+    /// pin requires).
+    pub replan_interval: Option<u64>,
+}
+
+impl Default for SchedConfig {
+    /// One device, a 64-job queue, SMRA allocation, admission-driven
+    /// re-planning.
+    fn default() -> Self {
+        SchedConfig {
+            num_gpus: 1,
+            queue_capacity: 64,
+            alloc: AllocationPolicy::Smra,
+            replan_interval: None,
+        }
+    }
+}
+
+/// Arrival-driven scheduler over a measurement [`Pipeline`].
+///
+/// Borrows the pipeline mutably for the lifetime of the scheduler so
+/// co-run measurements share the pipeline's profile/curve caches (and
+/// its memoized sweep engine) across runs.
+pub struct OnlineScheduler<'p> {
+    pipeline: &'p mut Pipeline,
+    cfg: SchedConfig,
+}
+
+impl<'p> OnlineScheduler<'p> {
+    /// Creates a scheduler with `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::BadConfig`] if `cfg.num_gpus` is 0.
+    pub fn new(pipeline: &'p mut Pipeline, cfg: SchedConfig) -> Result<Self, SchedError> {
+        if cfg.num_gpus == 0 {
+            return Err(SchedError::BadConfig("num_gpus must be at least 1".into()));
+        }
+        Ok(OnlineScheduler { pipeline, cfg })
+    }
+
+    /// Runs `trace` to completion under `policy` and reports.
+    ///
+    /// # Errors
+    ///
+    /// Pipeline failures ([`SchedError::Core`]) and the pathological
+    /// empty-plan-with-waiting-jobs case ([`SchedError::Stalled`]).
+    pub fn run(
+        &mut self,
+        trace: &ArrivalTrace,
+        policy: &mut dyn Policy,
+    ) -> Result<SchedReport, SchedError> {
+        let arrivals = trace.arrivals();
+        let mut next_arrival = 0usize; // index into `arrivals`
+        let mut queue = AdmissionQueue::new(self.cfg.queue_capacity);
+        // `busy[g]` is Some(cycle at which device g frees up).
+        let mut busy: Vec<Option<u64>> = vec![None; self.cfg.num_gpus as usize];
+        let mut plan: Option<VecDeque<Vec<JobId>>> = None;
+        let mut last_tick = 0u64;
+
+        let mut jobs: Vec<JobOutcome> = Vec::new();
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut groups: Vec<GroupDispatch> = Vec::new();
+        let mut degradations: Vec<Degradation> = Vec::new();
+
+        let mut now = 0u64;
+        loop {
+            // 1. Completions at or before `now` free their devices.
+            for slot in &mut busy {
+                if slot.is_some_and(|until| until <= now) {
+                    *slot = None;
+                }
+            }
+
+            // 2. Admissions due now, in trace order.
+            let mut admitted = false;
+            while next_arrival < arrivals.len() && arrivals[next_arrival].time <= now {
+                let a = &arrivals[next_arrival];
+                let job = Job {
+                    id: next_arrival,
+                    bench: a.bench,
+                    arrival: a.time,
+                };
+                match queue.offer(job) {
+                    Ok(()) => admitted = true,
+                    Err(r) => rejections.push(r),
+                }
+                next_arrival += 1;
+            }
+            if admitted {
+                plan = None; // census changed: re-plan before next dispatch
+            }
+
+            // Re-plan interval ticks crossed since the last event also
+            // invalidate the plan (no-op when the queue is empty).
+            if let Some(iv) = self.cfg.replan_interval {
+                if iv > 0 && now / iv > last_tick {
+                    last_tick = now / iv;
+                    plan = None;
+                }
+            }
+
+            // 3. Dispatch onto free devices, ascending device order.
+            while !queue.is_empty() {
+                let Some(gpu) = busy.iter().position(Option::is_none) else {
+                    break;
+                };
+                if plan.is_none() {
+                    let fresh = policy.plan(self.pipeline, &queue.pending_vec())?;
+                    degradations.extend(fresh.degradations);
+                    plan = Some(fresh.groups.into());
+                }
+                let Some(group_ids) = plan.as_mut().and_then(VecDeque::pop_front) else {
+                    break; // defensive: policy returned an empty plan
+                };
+                let members = queue.take(&group_ids);
+                let benches: Vec<Benchmark> = members.iter().map(|j| j.bench).collect();
+                let result = self.pipeline.run_group(&benches, self.cfg.alloc)?;
+
+                let mut stp = 0.0;
+                for (member, app) in members.iter().zip(&result.apps) {
+                    let alone = self.pipeline.profile(member.bench).cycles;
+                    stp += alone as f64 / app.cycles as f64;
+                    jobs.push(JobOutcome {
+                        id: member.id,
+                        bench: member.bench,
+                        arrival: member.arrival,
+                        dispatch: now,
+                        completion: now + app.cycles,
+                        gpu: gpu as u32,
+                        alone_cycles: alone,
+                        corun_cycles: app.cycles,
+                    });
+                }
+                // A group always occupies its device for at least one
+                // cycle, or same-timestamp dispatch would loop forever.
+                let end = now + result.makespan.max(1);
+                busy[gpu] = Some(end);
+                groups.push(GroupDispatch {
+                    gpu: gpu as u32,
+                    start: now,
+                    end,
+                    jobs: group_ids,
+                    stp,
+                });
+            }
+
+            // 4. Advance to the earliest future event.
+            let next_done = busy.iter().flatten().copied().min();
+            let next_arr = arrivals.get(next_arrival).map(|a| a.time);
+            let next_tick = match self.cfg.replan_interval {
+                // Ticks only matter while work is both waiting and
+                // blocked behind busy devices.
+                Some(iv) if iv > 0 && !queue.is_empty() => Some(((now / iv) + 1) * iv),
+                _ => None,
+            };
+            let Some(next) = [next_done, next_arr, next_tick].into_iter().flatten().min()
+            else {
+                break;
+            };
+            debug_assert!(next > now, "events must move time forward");
+            now = next;
+        }
+
+        if !queue.is_empty() {
+            return Err(SchedError::Stalled {
+                waiting: queue.len(),
+                at: now,
+            });
+        }
+
+        jobs.sort_unstable_by_key(|j| j.id);
+        let makespan = groups.iter().map(|g| g.end).max().unwrap_or(0);
+        Ok(SchedReport {
+            policy: policy.name().to_string(),
+            num_gpus: self.cfg.num_gpus,
+            queue_capacity: self.cfg.queue_capacity,
+            jobs,
+            rejections,
+            groups,
+            degradations,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fcfs, PolicyKind};
+    use gcs_core::interference::InterferenceMatrix;
+    use gcs_core::runner::RunConfig;
+    use gcs_sim::config::GpuConfig;
+    use gcs_workloads::{Arrival, Scale};
+
+    fn test_pipeline(concurrency: u32) -> Pipeline {
+        let cfg = RunConfig {
+            gpu: GpuConfig::test_small(),
+            scale: Scale::TEST,
+            concurrency,
+        };
+        Pipeline::with_matrix(cfg, InterferenceMatrix::synthetic_paper_shape())
+            .expect("test pipeline")
+    }
+
+    fn trace_at_zero(benches: &[Benchmark]) -> ArrivalTrace {
+        ArrivalTrace::new(
+            benches
+                .iter()
+                .map(|&bench| Arrival { time: 0, bench })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn zero_gpus_is_rejected() {
+        let mut p = test_pipeline(2);
+        let cfg = SchedConfig {
+            num_gpus: 0,
+            ..SchedConfig::default()
+        };
+        assert!(matches!(
+            OnlineScheduler::new(&mut p, cfg),
+            Err(SchedError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let mut p = test_pipeline(2);
+        let trace = ArrivalTrace::new(Vec::new());
+        let report = OnlineScheduler::new(&mut p, SchedConfig::default())
+            .unwrap()
+            .run(&trace, &mut Fcfs)
+            .unwrap();
+        assert!(report.jobs.is_empty());
+        assert!(report.groups.is_empty());
+        assert_eq!(report.makespan, 0);
+    }
+
+    #[test]
+    fn single_gpu_serializes_groups() {
+        let mut p = test_pipeline(2);
+        let trace = trace_at_zero(&[
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Blk,
+            Benchmark::Sad,
+        ]);
+        let report = OnlineScheduler::new(&mut p, SchedConfig::default())
+            .unwrap()
+            .run(&trace, &mut Fcfs)
+            .unwrap();
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(report.groups.len(), 2);
+        // On one device the second group starts exactly when the first
+        // ends.
+        assert_eq!(report.groups[0].start, 0);
+        assert_eq!(report.groups[1].start, report.groups[0].end);
+        assert_eq!(report.makespan, report.groups[1].end);
+        // FCFS: arrival order is group order.
+        assert_eq!(report.groups[0].jobs, vec![0, 1]);
+        assert_eq!(report.groups[1].jobs, vec![2, 3]);
+    }
+
+    #[test]
+    fn two_gpus_dispatch_in_parallel() {
+        let mut p = test_pipeline(2);
+        let trace = trace_at_zero(&[
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Blk,
+            Benchmark::Sad,
+        ]);
+        let cfg = SchedConfig {
+            num_gpus: 2,
+            ..SchedConfig::default()
+        };
+        let report = OnlineScheduler::new(&mut p, cfg)
+            .unwrap()
+            .run(&trace, &mut Fcfs)
+            .unwrap();
+        // Both groups start at t=0 on distinct devices.
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.groups[0].start, 0);
+        assert_eq!(report.groups[1].start, 0);
+        assert_ne!(report.groups[0].gpu, report.groups[1].gpu);
+        assert!(report.makespan < report.groups[0].end + report.groups[1].end);
+    }
+
+    #[test]
+    fn backpressure_rejects_and_still_finishes() {
+        let mut p = test_pipeline(2);
+        // 6 arrivals at t=0 into a capacity-4 queue: exactly 2 rejected.
+        let trace = trace_at_zero(&[
+            Benchmark::Gups,
+            Benchmark::Hs,
+            Benchmark::Blk,
+            Benchmark::Sad,
+            Benchmark::Lps,
+            Benchmark::Ray,
+        ]);
+        let cfg = SchedConfig {
+            queue_capacity: 4,
+            ..SchedConfig::default()
+        };
+        let report = OnlineScheduler::new(&mut p, cfg)
+            .unwrap()
+            .run(&trace, &mut Fcfs)
+            .unwrap();
+        assert_eq!(report.rejections.len(), 2);
+        assert_eq!(report.jobs.len(), 4);
+        let rejected: Vec<JobId> = report.rejections.iter().map(|r| r.job).collect();
+        assert_eq!(rejected, vec![4, 5], "last arrivals bounce");
+    }
+
+    #[test]
+    fn late_arrivals_wait_for_their_timestamp() {
+        let mut p = test_pipeline(2);
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                time: 0,
+                bench: Benchmark::Gups,
+            },
+            Arrival {
+                time: 1_000_000_000,
+                bench: Benchmark::Hs,
+            },
+        ]);
+        let report = OnlineScheduler::new(&mut p, SchedConfig::default())
+            .unwrap()
+            .run(&trace, &mut Fcfs)
+            .unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        // The device idles until the second arrival: no time travel.
+        assert_eq!(report.jobs[1].dispatch, 1_000_000_000);
+        assert_eq!(report.jobs[1].queue_delay(), 0);
+    }
+
+    #[test]
+    fn replan_interval_run_matches_admission_driven_for_stateless_policies() {
+        // Stateless policies plan the same groups whether or not extra
+        // ticks invalidate the cache, so the reports must be identical.
+        let trace = ArrivalTrace::poisson(&Benchmark::ALL, 8, 40_000.0, 7);
+        let mut reports = Vec::new();
+        for interval in [None, Some(25_000u64)] {
+            let mut p = test_pipeline(2);
+            let cfg = SchedConfig {
+                replan_interval: interval,
+                ..SchedConfig::default()
+            };
+            let mut policy = PolicyKind::GreedyClass.build();
+            let r = OnlineScheduler::new(&mut p, cfg)
+                .unwrap()
+                .run(&trace, policy.as_mut())
+                .unwrap();
+            reports.push(r.to_json());
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+}

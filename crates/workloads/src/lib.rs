@@ -33,8 +33,10 @@ use gcs_sim::kernel::{AccessPattern, KernelDesc, Op, PatternId};
 use gcs_sim::PatternKind;
 
 mod suite;
+pub mod trace;
 
 pub use suite::{Benchmark, PaperProfile, PAPER_PROFILES};
+pub use trace::{queue_from_trace, Arrival, ArrivalTrace, TraceError};
 
 /// Work scaling applied to a benchmark model.
 ///

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Simulator performance benchmark runner.
+# Simulator + scheduler performance benchmark runner.
 #
 # Runs the simulator micro-benchmarks plus one fixed cold reference
 # sweep and writes the results to BENCH_sim.json in the repo root:
@@ -8,6 +8,11 @@
 #     "benches":    { "<name>": {"mean_ns": N, "min_ns": N}, ... },
 #     "cold_sweep": { "name": "...", "wall_seconds": S }
 #   }
+#
+# It then runs the online-scheduler micro-benchmarks (epoch planning
+# cost per policy, warm-cache event loop) the same way into
+# BENCH_sched.json, gated against its own committed baseline with the
+# same min_ns tolerance.
 #
 # Usage:
 #   scripts/bench.sh            full run (~200 ms x 3 samples per bench)
@@ -44,15 +49,44 @@ if [ "$SMOKE" -eq 1 ]; then
 fi
 
 OUT=BENCH_sim.json
+SCHED_OUT=BENCH_sched.json
 RAW=$(mktemp)
 BASELINE=$(mktemp)
-trap 'rm -f "$RAW" "$BASELINE"' EXIT
+SCHED_RAW=$(mktemp)
+SCHED_BASELINE=$(mktemp)
+trap 'rm -f "$RAW" "$BASELINE" "$SCHED_RAW" "$SCHED_BASELINE"' EXIT
 
-# Snapshot the committed baseline before overwriting it.
+# Gate fresh min_ns numbers in $2 against the baseline snapshot in $1.
+gate_against_baseline() {
+    awk -v tol="${BENCH_TOLERANCE:-1.6}" '
+        function parse(line,   name, min) {
+            name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
+            min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
+            return name SUBSEP min
+        }
+        /"min_ns"/ {
+            split(parse($0), kv, SUBSEP)
+            if (NR == FNR) { base[kv[1]] = kv[2]; next }
+            if (kv[1] in base && base[kv[1]] > 0 && kv[2] > base[kv[1]] * tol) {
+                printf "REGRESSION %s: min_ns %s vs baseline %s (> %sx)\n",
+                       kv[1], kv[2], base[kv[1]], tol
+                bad = 1
+            }
+        }
+        END { exit bad }
+    ' "$1" "$2"
+}
+
+# Snapshot the committed baselines before overwriting them.
 HAVE_BASELINE=0
 if [ "$SMOKE" -eq 0 ] && [ -f "$OUT" ]; then
     cp "$OUT" "$BASELINE"
     HAVE_BASELINE=1
+fi
+HAVE_SCHED_BASELINE=0
+if [ "$SMOKE" -eq 0 ] && [ -f "$SCHED_OUT" ]; then
+    cp "$SCHED_OUT" "$SCHED_BASELINE"
+    HAVE_SCHED_BASELINE=1
 fi
 
 echo "==> cargo bench --bench simulator"
@@ -100,24 +134,43 @@ echo "wrote $OUT ($(grep -c mean_ns "$OUT") benches, cold sweep ${SWEEP_SECS}s)"
 # zero-cost on the healthy path; min_ns is the least noisy statistic).
 if [ "$HAVE_BASELINE" -eq 1 ]; then
     echo "==> regression check vs committed baseline (tolerance ${BENCH_TOLERANCE:-1.6}x)"
-    awk -v tol="${BENCH_TOLERANCE:-1.6}" '
-        function parse(line,   name, min) {
-            name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
-            min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
-            return name SUBSEP min
-        }
-        /"min_ns"/ {
-            split(parse($0), kv, SUBSEP)
-            if (NR == FNR) { base[kv[1]] = kv[2]; next }
-            if (kv[1] in base && base[kv[1]] > 0 && kv[2] > base[kv[1]] * tol) {
-                printf "REGRESSION %s: min_ns %s vs baseline %s (> %sx)\n",
-                       kv[1], kv[2], base[kv[1]], tol
-                bad = 1
-            }
-        }
-        END { exit bad }
-    ' "$BASELINE" "$OUT" || {
+    gate_against_baseline "$BASELINE" "$OUT" || {
         echo "benchmark regression vs BENCH_sim.json baseline" >&2
+        exit 1
+    }
+    echo "no regressions"
+fi
+
+# Online-scheduler benchmarks, collected and gated the same way.
+echo
+echo "==> cargo bench --bench sched"
+cargo bench --bench sched | tee "$SCHED_RAW"
+
+awk '
+    /^BENCH_JSON / {
+        line = substr($0, 12)
+        name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
+        min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
+        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min "}"
+        entries = entries (entries == "" ? "" : ",\n") entry
+    }
+    END {
+        print "{"
+        print "  \"benches\": {"
+        print entries
+        print "  }"
+        print "}"
+    }
+' "$SCHED_RAW" > "$SCHED_OUT"
+
+echo
+echo "wrote $SCHED_OUT ($(grep -c mean_ns "$SCHED_OUT") benches)"
+
+if [ "$HAVE_SCHED_BASELINE" -eq 1 ]; then
+    echo "==> regression check vs committed baseline (tolerance ${BENCH_TOLERANCE:-1.6}x)"
+    gate_against_baseline "$SCHED_BASELINE" "$SCHED_OUT" || {
+        echo "benchmark regression vs BENCH_sched.json baseline" >&2
         exit 1
     }
     echo "no regressions"

@@ -15,6 +15,10 @@
 #                               tests/chaos.rs suite (DESIGN.md §9) and
 #                               exits — a fast standalone check that the
 #                               degradation paths still hold
+#   scripts/ci.sh --sched-smoke online-scheduler gate only: runs the
+#                               tests/sched.rs suite (DESIGN.md §10) and a
+#                               short seeded trace through schedd_sim under
+#                               all three policies at TEST scale, then exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -28,12 +32,14 @@ export CARGO_NET_OFFLINE=true
 QUICK=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+SCHED_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
         --chaos-smoke) CHAOS_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke]" >&2; exit 2 ;;
+        --sched-smoke) SCHED_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -47,6 +53,22 @@ if [ "$CHAOS_SMOKE" -eq 1 ]; then
     cargo test -q -p gcs-core --test chaos
     echo
     echo "chaos smoke passed"
+    exit 0
+fi
+
+if [ "$SCHED_SMOKE" -eq 1 ]; then
+    step "sched smoke (tests/sched.rs: batch equivalence + determinism)"
+    cargo test -q -p gcs-sched
+    step "sched smoke (schedd_sim, short seeded trace, all policies, GCS_SCALE=test)"
+    cargo build --release --bin schedd_sim
+    GCS_SCALE=test ./target/release/schedd_sim
+    for policy in fcfs greedy ilp; do
+        test -s "results/sched/sched_test_q14_$policy.json" || {
+            echo "missing results/sched/sched_test_q14_$policy.json" >&2; exit 1;
+        }
+    done
+    echo
+    echo "sched smoke passed"
     exit 0
 fi
 
