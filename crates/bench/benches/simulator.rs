@@ -46,10 +46,10 @@ fn main() {
 
     for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
         let mut s = WarpScheduler::new(policy);
-        let ready = vec![true; 48];
+        let ready: u64 = (1u64 << 48) - 1;
         let ages: Vec<u64> = (0..48).collect();
         bench(&format!("sim/sched/{policy:?}_pick_48"), || {
-            s.pick(std::hint::black_box(&ready), &ages)
+            s.pick(std::hint::black_box(ready), &ages)
         });
     }
 
@@ -89,7 +89,15 @@ fn main() {
     });
 
     // Same pairing run to completion on the small device: includes the
-    // drain tail where only a few warps remain in flight.
+    // drain tail where only a few warps remain in flight. Despite the
+    // shared workload pair this is a genuinely different setup from
+    // `gtx480_20k_cycles_gups_spmv_even` above — small device vs full
+    // GTX 480 model, run-to-completion vs a fixed 20k-cycle window —
+    // and the two have historically landed on near-identical min_ns
+    // (~102 ms in the pre-flat-layout baseline) purely by coincidence:
+    // the big device simulates ~6x more SM-cycles per device cycle but
+    // stops at 20k cycles, while the small one runs ~6x longer. They
+    // regress independently, so both stay in the suite.
     bench("sim/device/test_small_gups_spmv_even_complete", || {
         let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
         gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");

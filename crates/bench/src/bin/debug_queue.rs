@@ -5,7 +5,7 @@
 //! cargo run --release -p gcs-bench --bin debug_queue -- mheavy
 //! ```
 
-use gcs_bench::{build_pipeline, scale_from_env};
+use gcs_bench::{build_pipeline, report_profile, scale_from_env};
 use gcs_core::queues::{queue_with_distribution, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
@@ -41,4 +41,6 @@ fn main() {
             println!("  {:<28} makespan {:>9}", names.join("+"), g.makespan);
         }
     }
+
+    report_profile(&pipeline);
 }

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use gcs_bench::{build_pipeline, header, queue_12};
+use gcs_bench::{build_pipeline, report_profile, header, queue_12};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 use gcs_workloads::Benchmark;
 
@@ -51,4 +51,6 @@ fn main() {
         println!("groups under 40% of serial: {under}/{groups}");
     }
     println!("\npaper: ILP 3/4 groups under 40%, FCFS 1/4");
+
+    report_profile(&pipeline);
 }

@@ -9,7 +9,7 @@
 //! cargo run --release -p gcs-bench --bin fig411_three_app_dist
 //! ```
 
-use gcs_bench::{build_pipeline, header, pct};
+use gcs_bench::{build_pipeline, report_profile, header, pct};
 use gcs_core::queues::{queue_with_distribution, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
@@ -56,4 +56,6 @@ fn main() {
         "ILP-SMRA average gain over Even: {} (paper: +23%)",
         pct(avg(&gain_smra))
     );
+
+    report_profile(&pipeline);
 }

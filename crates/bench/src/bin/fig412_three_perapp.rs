@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use gcs_bench::{build_pipeline, header};
+use gcs_bench::{build_pipeline, report_profile, header};
 use gcs_core::queues::{queue_with_distribution, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy, QueueReport};
 use gcs_workloads::Benchmark;
@@ -56,4 +56,6 @@ fn main() {
             rel(&s),
         );
     }
+
+    report_profile(&pipeline);
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p gcs-bench --bin fig41_two_app
 //! ```
 
-use gcs_bench::{build_pipeline, header, pct};
+use gcs_bench::{build_pipeline, report_profile, header, pct};
 use gcs_core::queues::thesis_queue_14;
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
@@ -45,4 +45,6 @@ fn main() {
         "ILP vs serial: {} (paper: >+80%)",
         pct(ilp.device_throughput / base)
     );
+
+    report_profile(&pipeline);
 }

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use gcs_bench::{build_pipeline, header};
+use gcs_bench::{build_pipeline, report_profile, header};
 use gcs_core::queues::thesis_queue_14;
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 use gcs_workloads::Benchmark;
@@ -51,4 +51,6 @@ fn main() {
         println!("pairs under 50% of serial: {under_half}/{pairs}");
     }
     println!("\npaper: ILP 5/7 pairs under 50%, FCFS 2/7");
+
+    report_profile(&pipeline);
 }

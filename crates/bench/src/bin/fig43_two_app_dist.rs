@@ -13,7 +13,7 @@
 //! cargo run --release -p gcs-bench --bin fig43_two_app_dist
 //! ```
 
-use gcs_bench::{build_pipeline, header, pct};
+use gcs_bench::{build_pipeline, report_profile, header, pct};
 use gcs_core::queues::{queue_with_distribution_seeded, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
@@ -71,4 +71,6 @@ fn main() {
         "ILP-SMRA average gain over Even: {} (paper: +36%)",
         pct(avg(&gain_smra))
     );
+
+    report_profile(&pipeline);
 }

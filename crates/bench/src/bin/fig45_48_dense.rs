@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use gcs_bench::{build_pipeline, header, pct};
+use gcs_bench::{build_pipeline, report_profile, header, pct};
 use gcs_core::queues::{queue_with_distribution, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy, QueueReport};
 use gcs_workloads::Benchmark;
@@ -77,4 +77,6 @@ fn main() {
             pct(smra.device_throughput / even.device_throughput),
         );
     }
+
+    report_profile(&pipeline);
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p gcs-bench --bin fig49_three_app
 //! ```
 
-use gcs_bench::{build_pipeline, header, pct, queue_12};
+use gcs_bench::{build_pipeline, report_profile, header, pct, queue_12};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
 fn main() {
@@ -43,4 +43,6 @@ fn main() {
         "ILP vs serial: {} (paper: ~2x)",
         pct(ilp.device_throughput / base)
     );
+
+    report_profile(&pipeline);
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p gcs-bench --bin headline
 //! ```
 
-use gcs_bench::{build_pipeline, header, pct};
+use gcs_bench::{build_pipeline, header, pct, report_profile};
 use gcs_core::queues::{queue_with_distribution, Distribution};
 use gcs_core::runner::{AllocationPolicy, GroupingPolicy};
 
@@ -30,5 +30,6 @@ fn main() {
         }
         let avg = gains.iter().sum::<f64>() / gains.len() as f64;
         println!("  average: {} (paper: {paper})", pct(avg));
+        report_profile(&pipeline);
     }
 }

@@ -24,7 +24,7 @@
 
 use std::fs;
 
-use gcs_bench::{build_pipeline, header, scale_from_env};
+use gcs_bench::{build_pipeline, report_profile, header, scale_from_env};
 use gcs_core::queues::thesis_queue_14;
 use gcs_core::runner::AllocationPolicy;
 use gcs_sched::{LatencyStats, OnlineScheduler, PolicyKind, SchedConfig, SchedReport};
@@ -173,4 +173,6 @@ fn main() {
     let summary_path = format!("results/sched/summary_{scale_tag}.json");
     fs::write(&summary_path, summary).expect("write summary");
     println!("\nwrote results/sched/sched_{scale_tag}_q*.json and {summary_path}");
+
+    report_profile(&pipeline);
 }

@@ -48,16 +48,51 @@ pub fn pct(ratio: f64) -> String {
 /// results (one small JSON file per profile/co-run job).
 pub const SWEEP_CACHE_DIR: &str = "results/cache";
 
+/// Whether the invocation asked for a phase-cycle profile: the
+/// `--profile` command-line flag on any fig binary, or `GCS_PROFILE=1`
+/// in the environment (for harnesses that cannot pass arguments
+/// through).
+pub fn profile_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--profile")
+        || std::env::var("GCS_PROFILE").as_deref() == Ok("1")
+}
+
 /// A machine-sized [`SweepEngine`] persisting its memo cache under
 /// [`SWEEP_CACHE_DIR`] — the engine every harness binary should share.
 /// Delete the cache directory after changing the simulator or the
 /// workload models, or set `GCS_CACHE=off` to bypass it for one run
-/// (used by `scripts/bench.sh` to time truly cold sweeps).
+/// (used by `scripts/bench.sh` to time truly cold sweeps). With
+/// `--profile` (or `GCS_PROFILE=1`) the engine also collects per-phase
+/// device cycles for every job it simulates; note cached jobs
+/// contribute no cycles, so profile a cold sweep (`GCS_CACHE=off`) to
+/// see the full picture. `GCS_THREADS=n` pins the worker count (the
+/// profile line is byte-stable at any value; `scripts/ci.sh
+/// --profile-smoke` sweeps it to prove that).
 pub fn default_engine() -> SweepEngine {
-    if std::env::var("GCS_CACHE").as_deref() == Ok("off") {
-        return SweepEngine::auto();
+    let engine = match std::env::var("GCS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        Some(n) => SweepEngine::new(n),
+        None => SweepEngine::auto(),
+    };
+    let engine = if std::env::var("GCS_CACHE").as_deref() == Ok("off") {
+        engine
+    } else {
+        engine.with_cache_dir(SWEEP_CACHE_DIR)
+    };
+    engine.with_phase_profiling(profile_requested())
+}
+
+/// Prints the deterministic phase-cycle report when profiling was
+/// requested; a no-op otherwise. Call at the end of a fig binary so the
+/// report covers every job the run simulated. The line is byte-stable
+/// at any worker thread count (pure cycle counters, no wall-clock).
+pub fn report_profile(pipeline: &Pipeline) {
+    if profile_requested() {
+        println!("{}", pipeline.sweep_stats().profile_report());
     }
-    SweepEngine::auto().with_cache_dir(SWEEP_CACHE_DIR)
 }
 
 /// Builds the full measurement pipeline (suite profiling + interference

@@ -17,7 +17,7 @@
 //! [`Pipeline`]: crate::runner::Pipeline
 
 use gcs_sim::config::GpuConfig;
-use gcs_sim::gpu::{Gpu, SimError};
+use gcs_sim::gpu::{Gpu, PhaseCycles, SimError};
 use gcs_sim::kernel::KernelDesc;
 
 /// Cycle budget for a profiling run; generous relative to the workload
@@ -84,6 +84,22 @@ pub fn profile_with_sms(
     cfg: &GpuConfig,
     num_sms: u32,
 ) -> Result<AppProfile, SimError> {
+    profile_with_sms_phases(kernel, cfg, num_sms, false).map(|(p, _)| p)
+}
+
+/// Like [`profile_with_sms`], but optionally collects the device's
+/// [`PhaseCycles`] alongside the profile (the sweep engine's `--profile`
+/// plumbing). The profile itself is bit-identical either way.
+///
+/// # Errors
+///
+/// Same as [`profile_with_sms`].
+pub fn profile_with_sms_phases(
+    kernel: &KernelDesc,
+    cfg: &GpuConfig,
+    num_sms: u32,
+    phases: bool,
+) -> Result<(AppProfile, Option<PhaseCycles>), SimError> {
     if num_sms == 0 || num_sms > cfg.num_sms {
         return Err(SimError::InvalidConfig(format!(
             "profiling with {num_sms} SMs on a {}-SM device",
@@ -91,6 +107,7 @@ pub fn profile_with_sms(
         )));
     }
     let mut gpu = Gpu::new(cfg.clone())?;
+    gpu.set_profiling(phases);
     let app = gpu.launch(kernel.clone())?;
     let ids: Vec<u32> = (0..num_sms).collect();
     gpu.assign_sms(app, &ids);
@@ -100,17 +117,20 @@ pub fn profile_with_sms(
     let cycles = stats.runtime_cycles().max(1);
     let to_gbps = |bytes: u64| cfg.bytes_per_cycle_to_gbps(bytes as f64 / cycles as f64);
     let ipc = stats.thread_ipc();
-    Ok(AppProfile {
-        name: kernel.name.clone(),
-        memory_bw: to_gbps(stats.dram_bytes()),
-        l2_l1_bw: to_gbps(stats.l2_to_l1_bytes),
-        ipc,
-        r: stats.memory_ratio(),
-        utilization: ipc / cfg.peak_thread_ipc(),
-        cycles,
-        thread_insts: stats.thread_insts,
-        num_sms,
-    })
+    Ok((
+        AppProfile {
+            name: kernel.name.clone(),
+            memory_bw: to_gbps(stats.dram_bytes()),
+            l2_l1_bw: to_gbps(stats.l2_to_l1_bytes),
+            ipc,
+            r: stats.memory_ratio(),
+            utilization: ipc / cfg.peak_thread_ipc(),
+            cycles,
+            thread_insts: stats.thread_insts,
+            num_sms,
+        },
+        gpu.phase_cycles(),
+    ))
 }
 
 /// IPC of `kernel` at each SM count in `sm_counts` — the scalability

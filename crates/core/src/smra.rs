@@ -151,13 +151,13 @@ impl SmraController {
     /// One Algorithm 1 decision based on the window since the previous
     /// call. Returns the action taken.
     pub fn decide(&mut self, gpu: &mut Gpu) -> SmraAction {
-        let now_stats = gpu.stats().clone();
+        let now_stats = gpu.stats();
         let delta = now_stats.cycles.saturating_sub(self.prev_stats.cycles);
         if delta == 0 {
             return self.log(SmraAction::Hold);
         }
-        let window = window_between(&self.prev_stats, &now_stats, delta);
-        self.prev_stats = now_stats;
+        let window = window_between(&self.prev_stats, now_stats, delta);
+        self.prev_stats.copy_from(gpu.stats());
 
         // Fault detection: if the surviving-SM set changed since the
         // last window, this window's throughput delta is fault-induced

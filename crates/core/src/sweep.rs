@@ -34,12 +34,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gcs_sim::config::GpuConfig;
-use gcs_sim::gpu::Gpu;
+use gcs_sim::gpu::{Gpu, PhaseCycles};
 use gcs_sim::kernel::AppId;
 use gcs_workloads::{Benchmark, Scale};
 
 use crate::fault::RetryPolicy;
-use crate::profile::{profile_with_sms, AppProfile, PROFILE_MAX_CYCLES};
+use crate::profile::{profile_with_sms_phases, AppProfile, PROFILE_MAX_CYCLES};
 use crate::smra::{SmraController, SmraParams};
 use crate::CoreError;
 
@@ -86,6 +86,12 @@ pub struct SweepStats {
     pub jobs_retried: u64,
     /// Corrupt on-disk cache entries moved to the quarantine directory.
     pub jobs_quarantined: u64,
+    /// Phase-cycle totals across all *simulated* jobs; all zero unless
+    /// the engine was built with [`SweepEngine::with_phase_profiling`].
+    /// Cached jobs contribute nothing (their cycles are not in
+    /// `sim_cycles` either), so `phases.total() == sim_cycles` whenever
+    /// profiling was on for the engine's whole life.
+    pub phases: PhaseCycles,
 }
 
 impl SweepStats {
@@ -96,6 +102,24 @@ impl SweepStats {
             return 1.0;
         }
         self.serial_nanos as f64 / self.wall_nanos as f64
+    }
+
+    /// Deterministic phase-profile report: pure cycle counters, no
+    /// wall-clock fields, so the output is byte-identical at any worker
+    /// thread count (job sums commute).
+    pub fn profile_report(&self) -> String {
+        let p = &self.phases;
+        format!(
+            "profile: issue={} l1={} l2={} dram={} smra={} idle={} total={} sim_cycles={}",
+            p.issue,
+            p.l1,
+            p.l2,
+            p.dram,
+            p.smra,
+            p.idle,
+            p.total(),
+            self.sim_cycles,
+        )
     }
 }
 
@@ -142,6 +166,11 @@ pub struct SweepEngine {
     threads: usize,
     cache_dir: Option<PathBuf>,
     retry: RetryPolicy,
+    /// When set, simulated jobs run with the device phase profiler on
+    /// and their [`PhaseCycles`] accumulate into `phases`. Never part of
+    /// cache keys or entries: profiling does not change results.
+    profile_phases: bool,
+    phases: Mutex<PhaseCycles>,
     mem: Mutex<HashMap<u64, Entry>>,
     jobs_total: AtomicU64,
     jobs_simulated: AtomicU64,
@@ -163,6 +192,8 @@ impl SweepEngine {
             threads: threads.max(1),
             cache_dir: None,
             retry: RetryPolicy::NONE,
+            profile_phases: false,
+            phases: Mutex::new(PhaseCycles::default()),
             mem: Mutex::new(HashMap::new()),
             jobs_total: AtomicU64::new(0),
             jobs_simulated: AtomicU64::new(0),
@@ -209,6 +240,27 @@ impl SweepEngine {
         self
     }
 
+    /// Collects per-phase device cycles for every job this engine
+    /// simulates (the `--profile` flag of the fig binaries). Off by
+    /// default; results and cache keys are unaffected either way.
+    #[must_use]
+    pub fn with_phase_profiling(mut self, on: bool) -> Self {
+        self.profile_phases = on;
+        self
+    }
+
+    /// Whether phase profiling is on.
+    pub fn phase_profiling(&self) -> bool {
+        self.profile_phases
+    }
+
+    fn add_phases(&self, p: &PhaseCycles) {
+        self.phases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .add(p);
+    }
+
     /// Worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -231,6 +283,7 @@ impl SweepEngine {
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
             jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
+            phases: *self.phases.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
@@ -392,8 +445,20 @@ impl SweepEngine {
     ) -> Result<AppProfile, CoreError> {
         let key = profile_key(cfg, scale, bench, num_sms);
         let mut p = self.cached(&key, decode_profile, || {
-            let p = profile_with_sms(&bench.kernel(scale), cfg, num_sms)?;
-            self.sim_cycles.fetch_add(p.cycles, Ordering::Relaxed);
+            let (p, phases) =
+                profile_with_sms_phases(&bench.kernel(scale), cfg, num_sms, self.profile_phases)?;
+            // With profiling on, account the device cycles actually
+            // stepped (the app-relative runtime can undercount the tail
+            // by a cycle) so phase totals partition sim_cycles exactly.
+            match phases {
+                Some(ph) => {
+                    self.sim_cycles.fetch_add(ph.total(), Ordering::Relaxed);
+                    self.add_phases(&ph);
+                }
+                None => {
+                    self.sim_cycles.fetch_add(p.cycles, Ordering::Relaxed);
+                }
+            }
             Ok((encode_profile(&p), p))
         })?;
         // The flat u64 cache drops the kernel name; the key pins the
@@ -439,8 +504,16 @@ impl SweepEngine {
             &key,
             |fields| decode_group(fields, n),
             || {
-                let out = simulate_corun(cfg, scale, group, mode)?;
-                self.sim_cycles.fetch_add(out.makespan, Ordering::Relaxed);
+                let (out, phases) = simulate_corun(cfg, scale, group, mode, self.profile_phases)?;
+                match phases {
+                    Some(ph) => {
+                        self.sim_cycles.fetch_add(ph.total(), Ordering::Relaxed);
+                        self.add_phases(&ph);
+                    }
+                    None => {
+                        self.sim_cycles.fetch_add(out.makespan, Ordering::Relaxed);
+                    }
+                }
                 Ok((encode_group(&out), out))
             },
         )
@@ -578,8 +651,10 @@ fn simulate_corun(
     scale: Scale,
     group: &[Benchmark],
     mode: &CorunMode,
-) -> Result<GroupOutcome, CoreError> {
+    profile_phases: bool,
+) -> Result<(GroupOutcome, Option<PhaseCycles>), CoreError> {
     let mut gpu = Gpu::new(cfg.clone())?;
+    gpu.set_profiling(profile_phases);
     let mut ids: Vec<AppId> = Vec::with_capacity(group.len());
     for &b in group {
         ids.push(gpu.launch(b.kernel(scale))?);
@@ -606,11 +681,14 @@ fn simulate_corun(
         cycles.push(s.runtime_cycles().max(1));
         thread_insts.push(s.thread_insts);
     }
-    Ok(GroupOutcome {
-        cycles,
-        thread_insts,
-        makespan: gpu.cycle(),
-    })
+    Ok((
+        GroupOutcome {
+            cycles,
+            thread_insts,
+            makespan: gpu.cycle(),
+        },
+        gpu.phase_cycles(),
+    ))
 }
 
 // ----------------------------------------------------------------------
@@ -881,6 +959,7 @@ fn parse_entry(text: &str) -> Option<(String, Vec<(String, u64)>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::profile_with_sms;
     use std::sync::atomic::AtomicU32;
 
     /// A unique, self-cleaning temp directory per test.
@@ -1270,6 +1349,41 @@ mod tests {
         assert_eq!(out.cycles[1], gpu.stats().app(b).runtime_cycles().max(1));
         assert_eq!(out.thread_insts[0], gpu.stats().app(a).thread_insts);
         assert_eq!(out.thread_insts[1], gpu.stats().app(b).thread_insts);
+    }
+
+    #[test]
+    fn phase_profile_sums_to_sim_cycles_and_is_thread_stable() {
+        let run = |threads: usize| {
+            let e = SweepEngine::new(threads).with_phase_profiling(true);
+            let suite = [Benchmark::Lud, Benchmark::Blk, Benchmark::Gups];
+            e.profile_suite(&cfg(), Scale::TEST, &suite).unwrap();
+            e.corun(
+                &cfg(),
+                Scale::TEST,
+                &[Benchmark::Gups, Benchmark::Spmv],
+                &CorunMode::Even,
+            )
+            .unwrap();
+            e.stats()
+        };
+        let s1 = run(1);
+        assert_eq!(
+            s1.phases.total(),
+            s1.sim_cycles,
+            "phase buckets must partition the simulated cycles: {:?}",
+            s1.phases
+        );
+        assert!(s1.phases.issue > 0, "some cycles must issue: {:?}", s1.phases);
+        for threads in [2, 8] {
+            let s = run(threads);
+            assert_eq!(s.phases, s1.phases, "{threads} threads");
+            assert_eq!(s.sim_cycles, s1.sim_cycles, "{threads} threads");
+        }
+        assert_eq!(
+            s1.profile_report(),
+            run(2).profile_report(),
+            "report line must be byte-stable across thread counts"
+        );
     }
 
     #[test]

@@ -15,6 +15,16 @@ pub enum Access {
     Miss,
 }
 
+/// One way's metadata: tag and LRU stamp side by side, so a set probe
+/// walks a single contiguous span instead of two parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct WayMeta {
+    /// Line number resident in this way; `u64::MAX` marks invalid.
+    tag: u64,
+    /// LRU stamp (larger = more recently used).
+    stamp: u64,
+}
+
 /// A tag-only set-associative LRU cache.
 ///
 /// # Example
@@ -32,10 +42,11 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: u32,
     line_shift: u32,
-    /// `sets x ways` tags; `u64::MAX` marks an invalid way.
-    tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    stamps: Vec<u64>,
+    /// `sets - 1` when the set count is a power of two; the probe paths
+    /// then index with a mask instead of a 64-bit modulo.
+    set_mask: u64,
+    /// Flat `sets x ways` metadata (tag + stamp interleaved).
+    meta: Vec<WayMeta>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -59,8 +70,18 @@ impl Cache {
             cfg,
             sets,
             line_shift: cfg.line_bytes.trailing_zeros(),
-            tags: vec![u64::MAX; sets as usize * ways],
-            stamps: vec![0; sets as usize * ways],
+            set_mask: if sets.is_power_of_two() {
+                u64::from(sets) - 1
+            } else {
+                0
+            },
+            meta: vec![
+                WayMeta {
+                    tag: u64::MAX,
+                    stamp: 0
+                };
+                sets as usize * ways
+            ],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -72,36 +93,49 @@ impl Cache {
         self.cfg
     }
 
+    /// Set index of a line number. All shipped geometries have
+    /// power-of-two set counts and take the mask path; the modulo
+    /// fallback keeps arbitrary configurations correct.
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        if self.set_mask != 0 {
+            (line & self.set_mask) as usize
+        } else {
+            (line % u64::from(self.sets)) as usize
+        }
+    }
+
     /// Probes (and on miss allocates) the line containing `addr`.
     pub fn access(&mut self, addr: u64) -> Access {
         self.clock += 1;
         let line = addr >> self.line_shift;
-        let set = (line % u64::from(self.sets)) as usize;
         let ways = self.cfg.ways as usize;
-        let base = set * ways;
-        let slots = &mut self.tags[base..base + ways];
+        let base = self.set_of(line) * ways;
+        let slots = &mut self.meta[base..base + ways];
 
-        if let Some(w) = slots.iter().position(|&t| t == line) {
-            self.stamps[base + w] = self.clock;
+        if let Some(w) = slots.iter().position(|m| m.tag == line) {
+            slots[w].stamp = self.clock;
             self.hits += 1;
             return Access::Hit;
         }
         self.misses += 1;
         // Prefer an invalid way, else evict LRU.
-        let victim = match slots.iter().position(|&t| t == u64::MAX) {
+        let victim = match slots.iter().position(|m| m.tag == u64::MAX) {
             Some(w) => w,
             None => {
                 let mut lru = 0;
                 for w in 1..ways {
-                    if self.stamps[base + w] < self.stamps[base + lru] {
+                    if slots[w].stamp < slots[lru].stamp {
                         lru = w;
                     }
                 }
                 lru
             }
         };
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        slots[victim] = WayMeta {
+            tag: line,
+            stamp: self.clock,
+        };
         Access::Miss
     }
 
@@ -109,12 +143,14 @@ impl Cache {
     /// policy is write-no-allocate).
     pub fn probe(&mut self, addr: u64) -> Access {
         let line = addr >> self.line_shift;
-        let set = (line % u64::from(self.sets)) as usize;
         let ways = self.cfg.ways as usize;
-        let base = set * ways;
-        if let Some(w) = self.tags[base..base + ways].iter().position(|&t| t == line) {
+        let base = self.set_of(line) * ways;
+        if let Some(w) = self.meta[base..base + ways]
+            .iter()
+            .position(|m| m.tag == line)
+        {
             self.clock += 1;
-            self.stamps[base + w] = self.clock;
+            self.meta[base + w].stamp = self.clock;
             self.hits += 1;
             Access::Hit
         } else {
@@ -142,45 +178,46 @@ impl Cache {
     fn fill_at(&mut self, addr: u64, at_lru: bool) {
         self.clock += 1;
         let line = addr >> self.line_shift;
-        let set = (line % u64::from(self.sets)) as usize;
         let ways = self.cfg.ways as usize;
-        let base = set * ways;
-        let slots = &self.tags[base..base + ways];
-        if slots.contains(&line) {
+        let base = self.set_of(line) * ways;
+        let slots = &mut self.meta[base..base + ways];
+        if slots.iter().any(|m| m.tag == line) {
             return;
         }
-        let victim = match slots.iter().position(|&t| t == u64::MAX) {
+        let victim = match slots.iter().position(|m| m.tag == u64::MAX) {
             Some(w) => w,
             None => {
                 let mut lru = 0;
                 for w in 1..ways {
-                    if self.stamps[base + w] < self.stamps[base + lru] {
+                    if slots[w].stamp < slots[lru].stamp {
                         lru = w;
                     }
                 }
                 lru
             }
         };
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = if at_lru {
+        let stamp = if at_lru {
             // Just below every resident line's stamp: next insertion to
             // this set evicts this line first unless it gets promoted.
             let min = (0..ways)
                 .filter(|&w| w != victim)
-                .map(|w| self.stamps[base + w])
+                .map(|w| slots[w].stamp)
                 .min()
                 .unwrap_or(self.clock);
             min.saturating_sub(1)
         } else {
             self.clock
         };
+        slots[victim] = WayMeta { tag: line, stamp };
     }
 
     /// Invalidates everything (used when an SM is handed to a different
     /// application: the incoming app must not inherit warm lines).
     pub fn flush(&mut self) {
-        self.tags.fill(u64::MAX);
-        self.stamps.fill(0);
+        self.meta.fill(WayMeta {
+            tag: u64::MAX,
+            stamp: 0,
+        });
     }
 
     /// Hits so far.

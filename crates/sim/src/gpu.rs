@@ -110,6 +110,63 @@ pub enum StepMode {
     EventHorizon,
 }
 
+/// Per-phase attribution of simulated cycles, collected only when
+/// profiling is switched on ([`Gpu::set_profiling`]; off by default, so
+/// results never pay for it). Every simulated cycle — stepped or jumped
+/// over — lands in exactly one bucket, so the totals always sum to the
+/// device clock advanced while profiling was on.
+///
+/// Attribution is deliberately coarse (one bucket per cycle for the
+/// whole device): it answers "where do simulated cycles go" for the
+/// engine's own performance work, not per-app accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// At least one SM issued an instruction (fetch/schedule active).
+    pub issue: u64,
+    /// Stalled with the memory system idle but warps asleep on SM-side
+    /// wake-ups (L1 hit latency, ALU latency).
+    pub l1: u64,
+    /// Stalled with the memory system busy but no request queued at any
+    /// DRAM controller (L2/interconnect bound).
+    pub l2: u64,
+    /// Stalled with requests queued at a DRAM controller.
+    pub dram: u64,
+    /// Burned at a controller sampling barrier: `run_for` window clamps
+    /// and dead-window burns (SMRA bookkeeping).
+    pub smra: u64,
+    /// Nothing in flight anywhere (e.g. the gap before dispatch).
+    pub idle: u64,
+}
+
+impl PhaseCycles {
+    /// Sum over all buckets; equals the cycles simulated under
+    /// profiling.
+    pub fn total(&self) -> u64 {
+        self.issue + self.l1 + self.l2 + self.dram + self.smra + self.idle
+    }
+
+    /// Accumulates `other` into `self` (merging runs or sweep jobs).
+    pub fn add(&mut self, other: &PhaseCycles) {
+        self.issue += other.issue;
+        self.l1 += other.l1;
+        self.l2 += other.l2;
+        self.dram += other.dram;
+        self.smra += other.smra;
+        self.idle += other.idle;
+    }
+}
+
+/// Which [`PhaseCycles`] bucket a cycle (or jumped span) lands in.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Issue,
+    L1,
+    L2,
+    Dram,
+    Smra,
+    Idle,
+}
+
 /// The simulated device.
 #[derive(Debug)]
 pub struct Gpu {
@@ -131,6 +188,9 @@ pub struct Gpu {
     /// In-service bitmap, one entry per SM; all `true` until a
     /// `DisableSm` fault fires.
     sm_enabled: Vec<bool>,
+    /// Phase-cycle counters, `None` (the default) unless profiling was
+    /// requested — the hot loop then pays a single branch per step.
+    profiler: Option<PhaseCycles>,
 }
 
 impl Gpu {
@@ -155,6 +215,7 @@ impl Gpu {
             fault_plan: None,
             fault_buf: Vec::new(),
             sm_enabled: vec![true; cfg.num_sms as usize],
+            profiler: None,
             cfg,
         })
     }
@@ -174,6 +235,46 @@ impl Gpu {
     /// reference used by the equivalence tests.
     pub fn set_step_mode(&mut self, mode: StepMode) {
         self.step_mode = mode;
+    }
+
+    /// Switches phase-cycle profiling on or off (off by default).
+    /// Turning it on resets the counters; it never affects simulation
+    /// results — [`SimStats`] stays bit-identical either way.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler = if on { Some(PhaseCycles::default()) } else { None };
+    }
+
+    /// Phase counters collected so far, `None` when profiling is off.
+    pub fn phase_cycles(&self) -> Option<PhaseCycles> {
+        self.profiler
+    }
+
+    /// Classifies a stall (no SM can issue) at the current device state.
+    fn wait_phase(&self) -> Phase {
+        if !self.memsys.is_idle() {
+            if self.memsys.any_dram_queued() {
+                Phase::Dram
+            } else {
+                Phase::L2
+            }
+        } else if self.sms.iter().any(|sm| sm.next_wake().is_some()) {
+            Phase::L1
+        } else {
+            Phase::Idle
+        }
+    }
+
+    /// Adds `n` cycles to `phase`'s bucket (profiling must be on).
+    fn bump_phase(&mut self, phase: Phase, n: u64) {
+        let p = self.profiler.as_mut().expect("profiling enabled");
+        match phase {
+            Phase::Issue => p.issue += n,
+            Phase::L1 => p.l1 += n,
+            Phase::L2 => p.l2 += n,
+            Phase::Dram => p.dram += n,
+            Phase::Smra => p.smra += n,
+            Phase::Idle => p.idle += n,
+        }
     }
 
     /// Installs a fault schedule. Like [`StepMode`], the plan is a
@@ -459,6 +560,7 @@ impl Gpu {
         // win FIFO admission into the shared slices — an unfairness
         // artifact, not a modeled mechanism.
         let n_sms = self.sms.len();
+        let mut any_issued = false;
         for k in 0..n_sms {
             let idx = (k + now as usize) % n_sms;
             let enabled = self.sm_enabled[idx];
@@ -470,6 +572,7 @@ impl Gpu {
             // A fault-disabled SM keeps issuing so its resident blocks
             // drain, but never accepts new work.
             if sm.has_ready_work() {
+                any_issued = true;
                 let retired = sm.issue(
                     now,
                     &app.kernel,
@@ -526,6 +629,15 @@ impl Gpu {
                     }
                 }
             }
+        }
+
+        if self.profiler.is_some() {
+            let phase = if any_issued {
+                Phase::Issue
+            } else {
+                self.wait_phase()
+            };
+            self.bump_phase(phase, 1);
         }
 
         self.cycle = now + 1;
@@ -710,6 +822,10 @@ impl Gpu {
                         };
                         match target {
                             Some(to) if to > self.cycle => {
+                                if self.profiler.is_some() {
+                                    let phase = self.wait_phase();
+                                    self.bump_phase(phase, to - self.cycle);
+                                }
                                 self.cycle = to;
                                 self.stats.cycles = to;
                             }
@@ -727,6 +843,10 @@ impl Gpu {
                                 // Clamp so a timeout is still reported at
                                 // the budget boundary.
                                 let to = h.min(max_cycles);
+                                if self.profiler.is_some() {
+                                    let phase = self.wait_phase();
+                                    self.bump_phase(phase, to - self.cycle);
+                                }
                                 self.cycle = to;
                                 self.stats.cycles = to;
                             }
@@ -763,6 +883,12 @@ impl Gpu {
             match self.next_horizon() {
                 Some(h) if h > self.cycle => {
                     let to = h.min(end);
+                    if self.profiler.is_some() {
+                        // A span truncated by the window barrier is the
+                        // controller's overhead, not the device's wait.
+                        let phase = if h > end { Phase::Smra } else { self.wait_phase() };
+                        self.bump_phase(phase, to - self.cycle);
+                    }
                     self.cycle = to;
                     self.stats.cycles = to;
                 }
@@ -770,6 +896,9 @@ impl Gpu {
                 None => {
                     // Nothing can ever happen again: burn the rest of
                     // the window, exactly as cycle stepping would.
+                    if self.profiler.is_some() {
+                        self.bump_phase(Phase::Smra, end - self.cycle);
+                    }
                     self.cycle = end;
                     self.stats.cycles = end;
                 }
@@ -859,6 +988,42 @@ mod tests {
         gpu.run(2_000_000).unwrap();
         assert!(gpu.stats().app(a).finished());
         assert!(gpu.stats().app(b).finished());
+    }
+
+    #[test]
+    fn phase_profile_sums_to_cycles_and_leaves_stats_identical() {
+        let run = |profile: bool| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            gpu.set_profiling(profile);
+            gpu.launch(mem_kernel("a", 8, 1 << 22)).unwrap();
+            gpu.launch(alu_kernel("b", 8)).unwrap();
+            gpu.partition_even();
+            gpu.run(2_000_000).unwrap();
+            (gpu.stats().clone(), gpu.cycle(), gpu.phase_cycles())
+        };
+        let (s_off, c_off, p_off) = run(false);
+        let (s_on, c_on, p_on) = run(true);
+        assert_eq!(p_off, None, "profiling is off by default");
+        let p = p_on.expect("profiling was requested");
+        assert_eq!(p.total(), c_on, "every cycle lands in exactly one bucket");
+        assert!(p.issue > 0, "the run issued instructions");
+        assert_eq!((s_off, c_off), (s_on, c_on), "profiling never perturbs results");
+    }
+
+    #[test]
+    fn phase_profile_accounts_windowed_runs() {
+        // run_for's window barrier must keep the invariant too (clamped
+        // horizons land in the smra bucket).
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        gpu.set_profiling(true);
+        gpu.launch(mem_kernel("a", 8, 1 << 22)).unwrap();
+        gpu.partition_even();
+        while !gpu.all_done() && gpu.cycle() < 2_000_000 {
+            gpu.run_for(500);
+        }
+        assert!(gpu.all_done());
+        let p = gpu.phase_cycles().unwrap();
+        assert_eq!(p.total(), gpu.cycle());
     }
 
     #[test]

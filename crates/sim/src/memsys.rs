@@ -15,7 +15,7 @@
 //! dominance — or plain FCFS for the ablation bench.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cache::{Access, Cache};
 use crate::config::GpuConfig;
@@ -62,6 +62,18 @@ struct DramBank {
     ready_at: u64,
 }
 
+/// A queued DRAM transaction with its bank index and global row
+/// precomputed at enqueue time. FR-FCFS scans the queue every bus slot;
+/// carrying these two values kills the division chain
+/// (`addr / row_bytes / num_slices % banks`) that the scan would
+/// otherwise re-derive per element per cycle.
+#[derive(Debug, Clone, Copy)]
+struct DramEntry {
+    req: MemRequest,
+    bank: u32,
+    row: u64,
+}
+
 /// DRAM controller queue with O(1) out-of-order removal.
 ///
 /// FR-FCFS services requests out of arrival order, which previously
@@ -71,7 +83,7 @@ struct DramBank {
 /// storage when an old request starves behind a row-hit stream.
 #[derive(Debug, Default)]
 struct DramQueue {
-    slots: VecDeque<Option<MemRequest>>,
+    slots: VecDeque<Option<DramEntry>>,
     live: usize,
 }
 
@@ -85,14 +97,14 @@ impl DramQueue {
         self.live == 0
     }
 
-    fn push_back(&mut self, req: MemRequest) {
-        self.slots.push_back(Some(req));
+    fn push_back(&mut self, req: MemRequest, bank: u32, row: u64) {
+        self.slots.push_back(Some(DramEntry { req, bank, row }));
         self.live += 1;
     }
 
     /// Live requests oldest-first, each with its raw slot index (valid
     /// until the next `take`/`push_back`).
-    fn iter(&self) -> impl Iterator<Item = (usize, &MemRequest)> {
+    fn iter(&self) -> impl Iterator<Item = (usize, &DramEntry)> {
         self.slots
             .iter()
             .enumerate()
@@ -104,8 +116,8 @@ impl DramQueue {
     /// # Panics
     ///
     /// Panics if `idx` does not hold a live request.
-    fn take(&mut self, idx: usize) -> MemRequest {
-        let req = self.slots[idx].take().expect("take of a live slot");
+    fn take(&mut self, idx: usize) -> DramEntry {
+        let entry = self.slots[idx].take().expect("take of a live slot");
         self.live -= 1;
         while matches!(self.slots.front(), Some(None)) {
             self.slots.pop_front();
@@ -115,7 +127,7 @@ impl DramQueue {
         if self.slots.len() > 2 * self.live + 16 {
             self.slots.retain(Option::is_some);
         }
-        req
+        entry
     }
 }
 
@@ -148,21 +160,151 @@ impl DramCtrl {
 /// this nominal capacity.
 const MSHRS_PER_SLICE: usize = GpuConfig::MAX_MSHRS_PER_SLICE as usize;
 
+/// Sentinel terminating an intrusive waiter list.
+const MSHR_NONE: u32 = u32::MAX;
+
+/// One waiter in the MSHR arena: the merged request plus an intrusive
+/// link to the next waiter on the same line (or the next free node when
+/// the node is on the free list).
+#[derive(Debug, Clone, Copy)]
+struct MshrWaiter {
+    req: MemRequest,
+    next: u32,
+}
+
+/// Flat MSHR table: a dense slab of in-flight line addresses (at most
+/// [`MSHRS_PER_SLICE`], so lookup is a linear scan over one packed
+/// `u64` array — far cheaper than hashing at this size) with per-line
+/// waiter lists threaded through a single arena via intrusive links.
+/// The arena grows only during warm-up; drained nodes go on a free list
+/// and are recycled, so the steady-state miss path never allocates.
+#[derive(Debug)]
+struct MshrTable {
+    /// Packed line addresses of in-flight fills (dense, unordered).
+    lines: Vec<u64>,
+    /// First waiter of each line's list, parallel to `lines`. The head
+    /// is always the request that went to DRAM; merges append.
+    heads: Vec<u32>,
+    /// Last waiter of each line's list, parallel to `lines` (O(1)
+    /// append keeps merge order identical to the old Vec push order).
+    tails: Vec<u32>,
+    /// Waiter arena; free nodes are chained through `next`.
+    nodes: Vec<MshrWaiter>,
+    /// Head of the free-node list (`MSHR_NONE` when empty).
+    free: u32,
+}
+
+impl MshrTable {
+    fn new() -> Self {
+        MshrTable {
+            lines: Vec::with_capacity(MSHRS_PER_SLICE),
+            heads: Vec::with_capacity(MSHRS_PER_SLICE),
+            tails: Vec::with_capacity(MSHRS_PER_SLICE),
+            nodes: Vec::new(),
+            free: MSHR_NONE,
+        }
+    }
+
+    /// Live (in-flight) line entries.
+    fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Index of `line`'s entry, if a fill for it is in flight.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        self.lines.iter().position(|&l| l == line)
+    }
+
+    /// Pops a node off the free list or grows the arena (warm-up only).
+    fn alloc_node(&mut self, req: MemRequest) -> u32 {
+        if self.free != MSHR_NONE {
+            let i = self.free;
+            self.free = self.nodes[i as usize].next;
+            self.nodes[i as usize] = MshrWaiter {
+                req,
+                next: MSHR_NONE,
+            };
+            i
+        } else {
+            self.nodes.push(MshrWaiter {
+                req,
+                next: MSHR_NONE,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Allocates a new line entry whose first waiter is `req` (the
+    /// request that goes to DRAM). Caller enforces the capacity gate.
+    fn insert(&mut self, line: u64, req: MemRequest) {
+        let n = self.alloc_node(req);
+        self.lines.push(line);
+        self.heads.push(n);
+        self.tails.push(n);
+    }
+
+    /// Appends `req` to the waiter list of entry `idx` (an MSHR hit:
+    /// the fill is already in flight, no second fetch).
+    fn merge(&mut self, idx: usize, req: MemRequest) {
+        let n = self.alloc_node(req);
+        let tail = self.tails[idx];
+        self.nodes[tail as usize].next = n;
+        self.tails[idx] = n;
+    }
+
+    /// Removes entry `idx` (O(1) swap-remove; the table is unordered)
+    /// and returns the head of its waiter list for draining via
+    /// [`MshrTable::drain_next`].
+    fn remove(&mut self, idx: usize) -> u32 {
+        let head = self.heads[idx];
+        self.lines.swap_remove(idx);
+        self.heads.swap_remove(idx);
+        self.tails.swap_remove(idx);
+        head
+    }
+
+    /// Frees waiter node `i`, returning its request and successor.
+    fn drain_next(&mut self, i: u32) -> (MemRequest, u32) {
+        let node = self.nodes[i as usize];
+        self.nodes[i as usize].next = self.free;
+        self.free = i;
+        (node.req, node.next)
+    }
+
+    /// Arena size (test hook: steady state must not grow it).
+    #[cfg(test)]
+    fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
 #[derive(Debug)]
 struct Slice {
     l2: Cache,
     input: VecDeque<MemRequest>,
     ctrl: DramCtrl,
-    /// line address -> read requests waiting on the in-flight fill. The
-    /// first entry is the request that went to DRAM; the rest merged.
-    mshr: HashMap<u64, Vec<MemRequest>>,
-    /// Pool of drained MSHR waiter vectors, recycled so a miss does not
-    /// allocate on the simulator's hottest path.
-    mshr_pool: Vec<Vec<MemRequest>>,
+    /// In-flight DRAM reads with their merged waiters.
+    mshr: MshrTable,
     /// Earliest cycle at which the L2 stage of this slice could possibly
     /// make progress (`u64::MAX` when nothing is queued). Maintained by
     /// `tick` and lowered by `push`; consumed by [`MemSys::next_event`].
     l2_event: u64,
+    /// First cycle at which the L2 stage scan must run again. Armed
+    /// (to the first future arrival) when a scan consumed nothing and
+    /// left only stalled misses: nothing about such a scan can change
+    /// until a DRAM service frees queue/MSHR space or fills a line, or
+    /// a new request arrives — both of which reset this to zero. Saves
+    /// re-probing a full input queue of stalled misses every cycle
+    /// while a co-runner saturates the channel. Pure scan elision: no
+    /// `SimStats`-visible work is skipped (only the L2 probe tallies
+    /// undercount re-probes, exactly as event-horizon jumps already
+    /// do).
+    scan_wake: u64,
 }
 
 /// The shared memory hierarchy below the L1s.
@@ -173,7 +315,16 @@ pub struct MemSys {
     /// Pending read responses ordered by completion cycle.
     responses: BinaryHeap<Reverse<(u64, u32, u32)>>,
     line_bytes: u64,
+    /// `!(line_bytes - 1)`: line alignment by mask (line sizes are
+    /// asserted powers of two).
+    line_mask: u64,
     row_bytes: u64,
+    /// `log2(row_bytes)` when `row_bytes` is a power of two (every
+    /// shipped config); `u32::MAX` otherwise (divide fallback).
+    row_shift: u32,
+    /// `num_slices - 1` when the slice count is a power of two, else 0
+    /// (modulo fallback — e.g. the 6-channel gtx480).
+    slice_mask: u64,
     /// Fault-injected extra L2 access latency (0 = nominal).
     extra_l2_lat: u64,
     /// Fault-injected extra DRAM data latency (0 = nominal). Inflates
@@ -185,20 +336,42 @@ pub struct MemSys {
 
 impl MemSys {
     /// Builds the memory system for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two (the caches
+    /// enforce the same invariant).
     pub fn new(cfg: &GpuConfig) -> Self {
-        let slices = (0..cfg.num_mem_ctrls)
+        let slices: Vec<Slice> = (0..cfg.num_mem_ctrls)
             .map(|_| Slice {
                 l2: Cache::new(cfg.l2_slice),
                 input: VecDeque::new(),
                 ctrl: DramCtrl::new(cfg.dram.banks),
-                mshr: HashMap::new(),
-                mshr_pool: Vec::new(),
+                mshr: MshrTable::new(),
                 l2_event: u64::MAX,
+                scan_wake: 0,
             })
             .collect();
+        let line_bytes = u64::from(cfg.l1.line_bytes);
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let num_slices = slices.len() as u64;
         MemSys {
-            line_bytes: u64::from(cfg.l1.line_bytes),
+            line_bytes,
+            line_mask: !(line_bytes - 1),
             row_bytes: cfg.dram.row_bytes,
+            row_shift: if cfg.dram.row_bytes.is_power_of_two() {
+                cfg.dram.row_bytes.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+            slice_mask: if num_slices.is_power_of_two() {
+                num_slices - 1
+            } else {
+                0
+            },
             cfg: cfg.clone(),
             slices,
             responses: BinaryHeap::new(),
@@ -208,11 +381,26 @@ impl MemSys {
         }
     }
 
+    /// Global DRAM row of an address (shift when `row_bytes` is a power
+    /// of two, divide otherwise).
+    #[inline]
+    fn row_of(&self, addr: u64) -> u64 {
+        if self.row_shift != u32::MAX {
+            addr >> self.row_shift
+        } else {
+            addr / self.row_bytes
+        }
+    }
+
     /// Sets fault-injected extra latency on every L2 access and DRAM
     /// data return. `(0, 0)` restores nominal timing.
     pub fn set_extra_latency(&mut self, extra_l2: u32, extra_dram: u32) {
         self.extra_l2_lat = u64::from(extra_l2);
         self.extra_dram_lat = u64::from(extra_dram);
+        // Timing changed under sleeping scans; force a re-scan.
+        for slice in &mut self.slices {
+            slice.scan_wake = 0;
+        }
     }
 
     /// Throttles the per-slice MSHR limit, clamped to
@@ -220,6 +408,10 @@ impl MemSys {
     /// the cap only gates new allocations.
     pub fn set_mshr_cap(&mut self, cap: u32) {
         self.mshr_cap = (cap.max(1) as usize).min(MSHRS_PER_SLICE);
+        // A raised cap can unstall sleeping misses; force a re-scan.
+        for slice in &mut self.slices {
+            slice.scan_wake = 0;
+        }
     }
 
     /// Current per-slice MSHR limit.
@@ -230,7 +422,12 @@ impl MemSys {
     /// Slice an address routes to (row-interleaved so streams keep
     /// row-buffer locality within one channel).
     pub fn slice_of(&self, addr: u64) -> usize {
-        ((addr / self.row_bytes) % self.slices.len() as u64) as usize
+        let row = self.row_of(addr);
+        if self.slice_mask != 0 {
+            (row & self.slice_mask) as usize
+        } else {
+            (row % self.slices.len() as u64) as usize
+        }
     }
 
     /// Whether the target slice can take one more request.
@@ -245,6 +442,7 @@ impl MemSys {
         let slice = &mut self.slices[idx];
         debug_assert!(slice.input.len() < SLICE_QUEUE_DEPTH + 64);
         slice.l2_event = slice.l2_event.min(req.arrive_at);
+        slice.scan_wake = 0;
         slice.input.push_back(req);
     }
 
@@ -253,10 +451,16 @@ impl MemSys {
     /// queued read, so the emptiness check is complete).
     pub fn tick(&mut self, now: u64, stats: &mut SimStats) {
         let num_slices = self.slices.len() as u64;
+        let banks = u64::from(self.cfg.dram.banks);
         let icnt = u64::from(self.cfg.icnt_lat);
         let l2_lat = u64::from(self.cfg.l2_lat) + self.extra_l2_lat;
         let extra_dram = self.extra_dram_lat;
         let mshr_cap = self.mshr_cap;
+        let line_mask = self.line_mask;
+        let line_bytes = self.line_bytes;
+        let row_bytes = self.row_bytes;
+        let row_shift = self.row_shift;
+        let fr_fcfs = self.cfg.dram.fr_fcfs;
         for slice in &mut self.slices {
             if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
                 debug_assert!(slice.mshr.is_empty());
@@ -276,7 +480,11 @@ impl MemSys {
             let mut stalled_kept = false; // bypassed misses left in queue
             let mut due_left = false; // port-limited with due entries left
             let mut next_arrival = u64::MAX; // first not-yet-due arrival
-            {
+            // A sleeping scan (armed below) would re-probe the same
+            // stalled misses to the same verdicts; skip it wholesale
+            // until a service or arrival can change the outcome.
+            let scanned = now >= slice.scan_wake;
+            if scanned {
                 let mut len = slice.input.len();
                 let mut i = 0; // read cursor
                 let mut w = 0; // write cursor (entries kept)
@@ -299,36 +507,47 @@ impl MemSys {
                     // later, and an early allocation would turn that
                     // retry into a phantom hit. Lines are filled on DRAM
                     // response.
-                    let line = req.addr / self.line_bytes * self.line_bytes;
+                    let line = req.addr & line_mask;
                     let consumed = match slice.l2.probe(req.addr) {
                         Access::Hit => {
                             if !req.is_write {
                                 // Write hits are absorbed silently.
                                 let at = now + l2_lat + icnt;
-                                stats.app_mut(req.app).l2_to_l1_bytes += self.line_bytes;
+                                stats.app_mut(req.app).l2_to_l1_bytes += line_bytes;
                                 self.responses.push(Reverse((at, req.sm, req.warp_slot)));
                             }
                             true
                         }
-                        Access::Miss if !req.is_write && slice.mshr.contains_key(&line) => {
+                        Access::Miss => {
                             // MSHR hit: a fill for this line is already
-                            // in flight; merge instead of fetching twice.
-                            slice.mshr.get_mut(&line).expect("checked").push(req);
-                            true
-                        }
-                        Access::Miss
-                            if !dram_full
-                                && (req.is_write || slice.mshr.len() < mshr_cap) =>
-                        {
-                            if !req.is_write {
-                                let mut waiters = slice.mshr_pool.pop().unwrap_or_default();
-                                waiters.push(req);
-                                slice.mshr.insert(line, waiters);
+                            // in flight; merge instead of fetching twice
+                            // (merging is not gated by a full DRAM queue).
+                            let mshr_hit = if req.is_write {
+                                None
+                            } else {
+                                slice.mshr.find(line)
+                            };
+                            if let Some(idx) = mshr_hit {
+                                slice.mshr.merge(idx, req);
+                                true
+                            } else if !dram_full
+                                && (req.is_write || slice.mshr.len() < mshr_cap)
+                            {
+                                if !req.is_write {
+                                    slice.mshr.insert(line, req);
+                                }
+                                let row = if row_shift != u32::MAX {
+                                    req.addr >> row_shift
+                                } else {
+                                    req.addr / row_bytes
+                                };
+                                let bank = ((row / num_slices) % banks) as u32;
+                                slice.ctrl.queue.push_back(req, bank, row);
+                                true
+                            } else {
+                                false // stalled; younger requests bypass
                             }
-                            slice.ctrl.queue.push_back(req);
-                            true
                         }
-                        Access::Miss => false, // stalled; younger requests bypass
                     };
                     if consumed {
                         processed += 1;
@@ -362,24 +581,18 @@ impl MemSys {
             // DRAM stage: one scheduling decision per free bus slot.
             let mut serviced = false;
             if slice.ctrl.bus_free_at <= now && !slice.ctrl.queue.is_empty() {
-                let pick = Self::schedule_dram(
-                    &slice.ctrl,
-                    now,
-                    self.row_bytes,
-                    num_slices,
-                    &self.cfg,
-                );
+                let pick = Self::schedule_dram(&slice.ctrl, now, fr_fcfs);
                 if let Some(idx) = pick {
                     serviced = true;
-                    let req = slice.ctrl.queue.take(idx);
-                    let global_row = req.addr / self.row_bytes;
+                    let entry = slice.ctrl.queue.take(idx);
+                    let req = entry.req;
+                    let global_row = entry.row;
                     // Rows are distributed to slices by `row % slices`, so
-                    // the bank index must use the row bits *above* the
-                    // slice selection or slices would only ever exercise
-                    // gcd(slices, banks) of their banks.
-                    let bank_idx =
-                        ((global_row / num_slices) % u64::from(self.cfg.dram.banks)) as usize;
-                    let bank = &mut slice.ctrl.banks[bank_idx];
+                    // the bank index uses the row bits *above* the slice
+                    // selection (precomputed at enqueue) or slices would
+                    // only ever exercise gcd(slices, banks) of their
+                    // banks.
+                    let bank = &mut slice.ctrl.banks[entry.bank as usize];
                     let row_hit = bank.open_row == global_row;
                     let lat = u64::from(if row_hit {
                         self.cfg.dram.t_row_hit
@@ -402,10 +615,10 @@ impl MemSys {
 
                     let app = stats.app_mut(req.app);
                     if req.is_write {
-                        app.dram_write_bytes += self.line_bytes;
+                        app.dram_write_bytes += line_bytes;
                     } else {
-                        app.dram_read_bytes += self.line_bytes;
-                        app.l2_to_l1_bytes += self.line_bytes;
+                        app.dram_read_bytes += line_bytes;
+                        app.l2_to_l1_bytes += line_bytes;
                         if row_hit {
                             app.dram_row_hits += 1;
                         } else {
@@ -413,20 +626,24 @@ impl MemSys {
                         }
                         slice.l2.fill_lru(req.addr);
                         let at = done + l2_lat + icnt;
-                        let line = req.addr / self.line_bytes * self.line_bytes;
-                        match slice.mshr.remove(&line) {
-                            Some(mut waiters) => {
-                                for w in waiters.drain(..) {
+                        let line = req.addr & line_mask;
+                        match slice.mshr.find(line) {
+                            Some(idx) => {
+                                // Drain the waiter chain in arrival order
+                                // (the chain head is the request that went
+                                // to DRAM), returning each node to the
+                                // free list.
+                                let mut node = slice.mshr.remove(idx);
+                                while node != MSHR_NONE {
+                                    let (w, next) = slice.mshr.drain_next(node);
                                     if w.warp_slot != req.warp_slot || w.sm != req.sm {
                                         // Merged request: counts as L2
                                         // traffic for its own app.
-                                        stats.app_mut(w.app).l2_to_l1_bytes +=
-                                            self.line_bytes;
+                                        stats.app_mut(w.app).l2_to_l1_bytes += line_bytes;
                                     }
                                     self.responses.push(Reverse((at, w.sm, w.warp_slot)));
+                                    node = next;
                                 }
-                                // Recycle the emptied waiter vector.
-                                slice.mshr_pool.push(waiters);
                             }
                             None => {
                                 // Read issued before MSHR tracking began
@@ -446,39 +663,43 @@ impl MemSys {
             // this cycle — otherwise the DRAM-side bound computed by
             // `next_event` covers the wait. Failing those, the first
             // future arrival decides.
-            let mut ev = next_arrival;
-            if due_left || (stalled_kept && serviced) {
-                ev = ev.min(now + 1);
+            if scanned {
+                let mut ev = next_arrival;
+                if due_left || (stalled_kept && serviced) {
+                    ev = ev.min(now + 1);
+                }
+                slice.l2_event = ev;
+                if stalled_kept && processed == 0 && !due_left && !serviced {
+                    // Nothing consumed, nothing freed: the next scan is
+                    // identical until a service or push wakes us.
+                    slice.scan_wake = next_arrival;
+                }
+            } else if serviced {
+                // A service while the scan slept: stalled misses may now
+                // proceed — scan (and let the horizon step) next cycle.
+                slice.scan_wake = 0;
+                slice.l2_event = slice.l2_event.min(now + 1);
             }
-            slice.l2_event = ev;
         }
     }
 
     /// FR-FCFS (or plain FCFS) arbitration: index into the queue of the
     /// request to service next, `None` if no bank is ready.
-    fn schedule_dram(
-        ctrl: &DramCtrl,
-        now: u64,
-        row_bytes: u64,
-        num_slices: u64,
-        cfg: &GpuConfig,
-    ) -> Option<usize> {
-        let bank_of =
-            |addr: u64| ((addr / row_bytes / num_slices) % u64::from(cfg.dram.banks)) as usize;
-        let row_of = |addr: u64| addr / row_bytes;
-        if cfg.dram.fr_fcfs {
+    fn schedule_dram(ctrl: &DramCtrl, now: u64, fr_fcfs: bool) -> Option<usize> {
+        if fr_fcfs {
             // First ready: oldest request that hits an open row on a
-            // ready bank.
-            for (i, req) in ctrl.queue.iter() {
-                let bank = &ctrl.banks[bank_of(req.addr)];
-                if bank.ready_at <= now && bank.open_row == row_of(req.addr) {
+            // ready bank. Bank and row were precomputed at enqueue, so
+            // the scan is a pair of loads per entry.
+            for (i, e) in ctrl.queue.iter() {
+                let bank = &ctrl.banks[e.bank as usize];
+                if bank.ready_at <= now && bank.open_row == e.row {
                     return Some(i);
                 }
             }
         }
         // Then oldest-first on any ready bank.
-        for (i, req) in ctrl.queue.iter() {
-            if ctrl.banks[bank_of(req.addr)].ready_at <= now {
+        for (i, e) in ctrl.queue.iter() {
+            if ctrl.banks[e.bank as usize].ready_at <= now {
                 return Some(i);
             }
         }
@@ -504,8 +725,6 @@ impl MemSys {
         if let Some(&Reverse((at, _, _))) = self.responses.peek() {
             ev = ev.min(at);
         }
-        let num_slices = self.slices.len() as u64;
-        let banks = u64::from(self.cfg.dram.banks);
         for slice in &self.slices {
             ev = ev.min(slice.l2_event);
             let ctrl = &slice.ctrl;
@@ -516,9 +735,8 @@ impl MemSys {
                     // Bus free, yet the last tick scheduled nothing:
                     // every candidate bank was busy. The next chance is
                     // the earliest bank-ready time among queued requests.
-                    for (_, req) in ctrl.queue.iter() {
-                        let b = ((req.addr / self.row_bytes / num_slices) % banks) as usize;
-                        ev = ev.min(ctrl.banks[b].ready_at);
+                    for (_, e) in ctrl.queue.iter() {
+                        ev = ev.min(ctrl.banks[e.bank as usize].ready_at);
                     }
                 }
             }
@@ -543,6 +761,12 @@ impl MemSys {
                 warp_slot: slot,
             });
         }
+    }
+
+    /// True when any DRAM controller has queued requests (the phase
+    /// profiler's DRAM-bound vs. L2-bound discriminator).
+    pub fn any_dram_queued(&self) -> bool {
+        self.slices.iter().any(|s| !s.ctrl.queue.is_empty())
     }
 
     /// True when no request or response is anywhere in flight.
@@ -738,6 +962,114 @@ mod tests {
     }
 
     #[test]
+    fn mshr_same_line_merge_is_unbounded() {
+        // Merging onto an in-flight line is not capped: every reader of
+        // the line lands on one MSHR entry and one DRAM fetch, however
+        // many there are.
+        let mut cfg = GpuConfig::test_small();
+        cfg.l2_ports = 16;
+        let mut ms = MemSys::new(&cfg);
+        let mut st = SimStats::new(4);
+        // Hold the DRAM bus so tick 0 only runs the L2/MSHR stage and
+        // the table state stays observable.
+        ms.slices[0].ctrl.bus_free_at = 100;
+        for slot in 0..16u32 {
+            let mut r = read(0x0, 0);
+            r.warp_slot = slot;
+            ms.push(r);
+        }
+        ms.tick(0, &mut st);
+        assert_eq!(ms.slices[0].mshr.len(), 1, "one entry for one line");
+        assert_eq!(ms.slices[0].mshr.arena_len(), 16, "one node per waiter");
+        let mut out = Vec::new();
+        for c in 1..2000 {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+        }
+        assert_eq!(out.len(), 16, "every merged reader woken");
+        assert_eq!(st.app_mut(AppId(0)).dram_read_bytes, 128, "one fetch");
+        assert!(ms.is_idle());
+    }
+
+    #[test]
+    fn mshr_arena_reused_after_drain() {
+        // Waiter nodes drained by a fill go on the free list; a second
+        // burst of equal width must recycle them rather than grow the
+        // arena — the steady-state miss path is allocation-free.
+        let mut cfg = GpuConfig::test_small();
+        cfg.l2_ports = 8;
+        let row = cfg.dram.row_bytes;
+        let slices = u64::from(cfg.num_mem_ctrls);
+        let mut ms = MemSys::new(&cfg);
+        let mut st = SimStats::new(4);
+        let mut out = Vec::new();
+
+        let burst = |ms: &mut MemSys, line_addr: u64, at: u64| {
+            for slot in 0..4u32 {
+                let mut r = read(line_addr, at);
+                r.warp_slot = slot;
+                ms.push(r);
+            }
+        };
+        burst(&mut ms, 0, 0);
+        for c in 0..2000 {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+        }
+        assert_eq!(out.len(), 4);
+        let arena = ms.slices[0].mshr.arena_len();
+        assert_eq!(arena, 4, "one node per waiter");
+
+        // Second burst to a *different* line (the first is now in L2),
+        // still on slice 0.
+        burst(&mut ms, row * slices, 2000);
+        for c in 2000..4000 {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+        }
+        assert_eq!(out.len(), 8);
+        assert_eq!(
+            ms.slices[0].mshr.arena_len(),
+            arena,
+            "drained nodes recycled, arena did not grow"
+        );
+        assert!(ms.is_idle());
+    }
+
+    #[test]
+    fn mshr_full_table_stalls_new_read_misses() {
+        // Distinct-line read misses beyond the MSHR cap stay in the
+        // slice input queue (stalled, order preserved) until a fill
+        // frees an entry; they complete eventually.
+        let mut cfg = GpuConfig::test_small();
+        cfg.l2_ports = 8;
+        let row = cfg.dram.row_bytes;
+        let slices = u64::from(cfg.num_mem_ctrls);
+        let mut ms = MemSys::new(&cfg);
+        ms.set_mshr_cap(2);
+        let mut st = SimStats::new(4);
+        // Hold the DRAM bus so the first tick cannot already fill (and
+        // free) an entry.
+        ms.slices[0].ctrl.bus_free_at = 100;
+        for i in 0..4u64 {
+            let mut r = read(i * row * slices, 0); // all slice 0, distinct lines
+            r.warp_slot = i as u32;
+            ms.push(r);
+        }
+        ms.tick(0, &mut st);
+        assert_eq!(ms.slices[0].mshr.len(), 2, "table full at the cap");
+        let kept: Vec<u32> = ms.slices[0].input.iter().map(|r| r.warp_slot).collect();
+        assert_eq!(kept, [2, 3], "overflow misses stalled in arrival order");
+        let mut out = Vec::new();
+        for c in 1..5000 {
+            ms.tick(c, &mut st);
+            ms.drain_completions(c, &mut out);
+        }
+        assert_eq!(out.len(), 4, "stalled misses complete after fills");
+        assert!(ms.is_idle());
+    }
+
+    #[test]
     fn backpressure_reported() {
         let (mut ms, _) = mk();
         let mut n = 0u64;
@@ -840,10 +1172,14 @@ mod tests {
         // occupy queue slots but produce no responses, and only one
         // leaves per bus slot.
         for _ in 0..depth + 4 {
-            ms.slices[0].ctrl.queue.push_back(MemRequest {
-                is_write: true,
-                ..read(0, 500)
-            });
+            ms.slices[0].ctrl.queue.push_back(
+                MemRequest {
+                    is_write: true,
+                    ..read(0, 500)
+                },
+                0,
+                0,
+            );
         }
 
         // Same slice (rows 2, 4, 6 with 2 slices): three misses with two
@@ -873,21 +1209,21 @@ mod tests {
     fn dram_queue_take_is_order_preserving() {
         let mut q = DramQueue::default();
         for i in 0..6u64 {
-            q.push_back(read(i, 0));
+            q.push_back(read(i, 0), 0, 0);
         }
         // Service out of order (as FR-FCFS does), middle then front.
-        let (idx, _) = q.iter().find(|(_, r)| r.addr == 3).expect("live");
-        assert_eq!(q.take(idx).addr, 3);
+        let (idx, _) = q.iter().find(|(_, e)| e.req.addr == 3).expect("live");
+        assert_eq!(q.take(idx).req.addr, 3);
         let (idx, _) = q.iter().next().expect("live");
-        assert_eq!(q.take(idx).addr, 0);
+        assert_eq!(q.take(idx).req.addr, 0);
         assert_eq!(q.len(), 4);
-        let rest: Vec<u64> = q.iter().map(|(_, r)| r.addr).collect();
+        let rest: Vec<u64> = q.iter().map(|(_, e)| e.req.addr).collect();
         assert_eq!(rest, [1, 2, 4, 5], "oldest-first order survives takes");
 
         // Starvation guard: repeated push/take churn with one pinned
         // request must not grow the slot storage without bound.
         for i in 0..10_000u64 {
-            q.push_back(read(100 + i, 0));
+            q.push_back(read(100 + i, 0), 0, 0);
             let (idx, _) = q.iter().last().expect("live");
             q.take(idx);
         }

@@ -45,49 +45,51 @@ impl WarpScheduler {
 
     /// Picks the next slot to issue from.
     ///
-    /// `ready` flags which slots can issue this cycle; `ages[slot]` is a
-    /// monotone dispatch sequence number (smaller = older). Returns
-    /// `None` when no slot is ready.
-    pub fn pick(&mut self, ready: &[bool], ages: &[u64]) -> Option<usize> {
-        debug_assert_eq!(ready.len(), ages.len());
+    /// `ready` is a bitmask of slots that can issue this cycle (bit
+    /// `slot` set = ready); `ages[slot]` is a monotone dispatch sequence
+    /// number (smaller = older). At most 64 slots are supported — the
+    /// mask lets both policies scan with popcount-class instructions
+    /// instead of walking a boolean array. Returns `None` when no slot
+    /// is ready.
+    pub fn pick(&mut self, ready: u64, ages: &[u64]) -> Option<usize> {
+        debug_assert!(ages.len() <= 64, "more warp slots than mask bits");
+        if ready == 0 {
+            return None;
+        }
         let chosen = match self.policy {
             WarpSchedPolicy::Gto => {
                 // Greedy part: stick with the last issued warp.
                 if let Some(last) = self.last_issued {
-                    if ready.get(last).copied().unwrap_or(false) {
+                    if last < 64 && ready & (1u64 << last) != 0 {
                         return Some(self.note(last));
                     }
                 }
-                // Oldest part: smallest age among ready slots.
-                let mut best: Option<usize> = None;
-                for (slot, &r) in ready.iter().enumerate() {
-                    if r {
-                        match best {
-                            None => best = Some(slot),
-                            Some(b) if ages[slot] < ages[b] => best = Some(slot),
-                            _ => {}
-                        }
+                // Oldest part: smallest age among ready slots. Ascending
+                // bit order + strict `<` keeps the lowest slot on age
+                // ties, matching the original array scan.
+                let mut m = ready;
+                let mut best = m.trailing_zeros() as usize;
+                m &= m - 1;
+                while m != 0 {
+                    let slot = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if ages[slot] < ages[best] {
+                        best = slot;
                     }
                 }
-                best
+                Some(best)
             }
             WarpSchedPolicy::Lrr => {
-                let n = ready.len();
-                if n == 0 {
-                    return None;
-                }
-                let mut found = None;
-                for off in 0..n {
-                    let slot = (self.rr_cursor + off) % n;
-                    if ready[slot] {
-                        found = Some(slot);
-                        break;
-                    }
-                }
-                if let Some(slot) = found {
-                    self.rr_cursor = (slot + 1) % n;
-                }
-                found
+                // First ready slot at or after the cursor, wrapping.
+                let n = ages.len();
+                let above = ready & (u64::MAX << self.rr_cursor);
+                let slot = if above != 0 {
+                    above.trailing_zeros() as usize
+                } else {
+                    ready.trailing_zeros() as usize
+                };
+                self.rr_cursor = (slot + 1) % n;
+                Some(slot)
             }
         };
         chosen.map(|s| self.note(s))
@@ -114,53 +116,72 @@ mod tests {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
         let ages = vec![10, 5, 7];
         // First pick: oldest ready (slot 1, age 5).
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
+        assert_eq!(s.pick(0b111, &ages), Some(1));
         // Greedy: keeps slot 1 while it stays ready.
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
+        assert_eq!(s.pick(0b111, &ages), Some(1));
         // Slot 1 stalls: falls back to oldest ready = slot 2 (age 7).
-        assert_eq!(s.pick(&[true, false, true], &ages), Some(2));
+        assert_eq!(s.pick(0b101, &ages), Some(2));
     }
 
     #[test]
     fn gto_none_when_all_stalled() {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
-        assert_eq!(s.pick(&[false, false], &[1, 2]), None);
+        assert_eq!(s.pick(0, &[1, 2]), None);
+    }
+
+    #[test]
+    fn gto_age_tie_prefers_lowest_slot() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
+        // Equal ages: the ascending bit scan with strict `<` must keep
+        // the lowest ready slot, as the original array scan did.
+        assert_eq!(s.pick(0b110, &[7, 7, 7]), Some(1));
     }
 
     #[test]
     fn lrr_rotates() {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
         let ages = vec![0, 0, 0];
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(0));
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(1));
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(2));
-        assert_eq!(s.pick(&[true, true, true], &ages), Some(0));
+        assert_eq!(s.pick(0b111, &ages), Some(0));
+        assert_eq!(s.pick(0b111, &ages), Some(1));
+        assert_eq!(s.pick(0b111, &ages), Some(2));
+        assert_eq!(s.pick(0b111, &ages), Some(0));
     }
 
     #[test]
     fn lrr_skips_stalled() {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
         let ages = vec![0, 0, 0];
-        assert_eq!(s.pick(&[true, false, true], &ages), Some(0));
-        assert_eq!(s.pick(&[true, false, true], &ages), Some(2));
-        assert_eq!(s.pick(&[true, false, true], &ages), Some(0));
+        assert_eq!(s.pick(0b101, &ages), Some(0));
+        assert_eq!(s.pick(0b101, &ages), Some(2));
+        assert_eq!(s.pick(0b101, &ages), Some(0));
+    }
+
+    #[test]
+    fn lrr_full_width_mask() {
+        // 64 slots: the cursor reaches slot 63 and the `u64::MAX << 64`
+        // hazard would bite if the wrap were not by modulo.
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        let ages = vec![0u64; 64];
+        let only_last = 1u64 << 63;
+        assert_eq!(s.pick(only_last, &ages), Some(63));
+        assert_eq!(s.pick(only_last | 1, &ages), Some(0), "cursor wrapped");
     }
 
     #[test]
     fn reset_clears_greedy_state() {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
         let ages = vec![2, 1];
-        assert_eq!(s.pick(&[true, true], &ages), Some(1));
+        assert_eq!(s.pick(0b11, &ages), Some(1));
         s.reset();
         // After reset the greedy memory is gone; picks oldest again.
-        assert_eq!(s.pick(&[true, true], &ages), Some(1));
+        assert_eq!(s.pick(0b11, &ages), Some(1));
     }
 
     #[test]
     fn empty_slots() {
         let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
-        assert_eq!(s.pick(&[], &[]), None);
+        assert_eq!(s.pick(0, &[]), None);
         let mut g = WarpScheduler::new(WarpSchedPolicy::Gto);
-        assert_eq!(g.pick(&[], &[]), None);
+        assert_eq!(g.pick(0, &[]), None);
     }
 }

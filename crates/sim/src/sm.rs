@@ -11,7 +11,7 @@ use crate::memsys::{MemRequest, MemSys};
 use crate::rng::SimRng;
 use crate::sched::WarpScheduler;
 use crate::stats::SimStats;
-use crate::warp::{bump_counter, generate_addresses, Warp};
+use crate::warp::{generate_addresses, WarpTable};
 
 /// A block resident on an SM: its id and how many of its warps are
 /// still alive (drain-based SM migration waits for this to reach zero
@@ -33,13 +33,14 @@ pub struct Sm {
     pub owner: Option<AppId>,
     /// Set while a drain-based handoff is pending.
     pub pending_owner: Option<AppId>,
-    warps: Vec<Option<Warp>>,
-    ready: Vec<bool>,
-    /// Number of `true` bits in `ready`, maintained incrementally so
-    /// [`Sm::has_ready_work`] is O(1) — the event-horizon stepping
-    /// engine queries it for every SM whenever it considers a skip.
-    ready_count: u32,
-    ages: Vec<u64>,
+    /// Per-slot warp state, struct-of-arrays (see [`WarpTable`]).
+    warps: WarpTable,
+    /// Bitmask of slots that can issue this cycle (bit `slot` set).
+    ready: u64,
+    /// Bitmask of slots holding a live warp.
+    occupied: u64,
+    /// `(1 << slots) - 1`: every valid slot bit.
+    slot_mask: u64,
     /// Sleeping warps keyed by wake cycle.
     sleepers: BinaryHeap<Reverse<(u64, u32)>>,
     blocks: Vec<ResidentBlock>,
@@ -54,16 +55,26 @@ pub struct Sm {
 
 impl Sm {
     /// Creates an idle SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for more than 64 warp slots —
+    /// the ready/occupancy bitmasks are single words.
     pub fn new(id: u32, cfg: &GpuConfig) -> Self {
         let slots = cfg.max_warps_per_sm as usize;
+        assert!(slots <= 64, "at most 64 warp slots per SM");
         Sm {
             id,
             owner: None,
             pending_owner: None,
-            warps: (0..slots).map(|_| None).collect(),
-            ready: vec![false; slots],
-            ready_count: 0,
-            ages: vec![u64::MAX; slots],
+            warps: WarpTable::new(slots),
+            ready: 0,
+            occupied: 0,
+            slot_mask: if slots == 64 {
+                u64::MAX
+            } else {
+                (1u64 << slots) - 1
+            },
             sleepers: BinaryHeap::new(),
             blocks: Vec::with_capacity(cfg.max_blocks_per_sm as usize),
             l1: Cache::new(cfg.l1),
@@ -75,17 +86,14 @@ impl Sm {
         }
     }
 
-    /// Flips a ready bit, keeping `ready_count` consistent. Every write
-    /// to `ready` must go through here.
+    /// Flips a ready bit. Every write to the mask goes through here.
     #[inline]
     fn set_ready(&mut self, slot: usize, val: bool) {
-        if self.ready[slot] != val {
-            self.ready[slot] = val;
-            if val {
-                self.ready_count += 1;
-            } else {
-                self.ready_count -= 1;
-            }
+        let bit = 1u64 << slot;
+        if val {
+            self.ready |= bit;
+        } else {
+            self.ready &= !bit;
         }
     }
 
@@ -96,12 +104,12 @@ impl Sm {
 
     /// Number of live warps.
     pub fn live_warps(&self) -> u32 {
-        self.warps.len() as u32 - self.free_slots
+        self.warps.slots() as u32 - self.free_slots
     }
 
     /// Number of warps currently ready to issue (diagnostics).
     pub fn ready_warps(&self) -> u32 {
-        self.ready_count
+        self.ready.count_ones()
     }
 
     /// True when no warp is resident.
@@ -131,33 +139,32 @@ impl Sm {
             warps_left: kernel.warps_per_block,
             barrier_waiters: Vec::new(),
         });
+        // Lowest free slots first, exactly as the old linear scan did.
         let mut placed = 0;
-        for slot in 0..self.warps.len() {
-            if placed == kernel.warps_per_block {
-                break;
-            }
-            if self.warps[slot].is_none() {
-                let w = Warp::new(block_id, placed, self.age_seq, kernel.iters_per_warp);
-                self.age_seq += 1;
-                self.ages[slot] = w.age;
-                self.warps[slot] = Some(w);
-                self.set_ready(slot, true);
-                self.free_slots -= 1;
-                placed += 1;
-            }
+        while placed < kernel.warps_per_block {
+            let slot = (!self.occupied & self.slot_mask).trailing_zeros() as usize;
+            self.warps
+                .init(slot, block_id, placed, self.age_seq, kernel.iters_per_warp);
+            self.age_seq += 1;
+            self.occupied |= 1u64 << slot;
+            self.set_ready(slot, true);
+            self.free_slots -= 1;
+            placed += 1;
         }
-        debug_assert_eq!(placed, kernel.warps_per_block);
     }
 
     /// Handles a returning memory transaction for `slot`. Returns 1 when
     /// this response retired the warp *and* completed its block.
     pub fn on_mem_response(&mut self, slot: u32) -> u32 {
         let slot = slot as usize;
-        if let Some(w) = self.warps[slot].as_mut() {
-            debug_assert!(w.outstanding > 0, "response for warp with no pending loads");
-            w.outstanding -= 1;
-            if w.outstanding == 0 {
-                if w.retiring {
+        if self.occupied & (1u64 << slot) != 0 {
+            debug_assert!(
+                self.warps.outstanding[slot] > 0,
+                "response for warp with no pending loads"
+            );
+            self.warps.outstanding[slot] -= 1;
+            if self.warps.outstanding[slot] == 0 {
+                if self.warps.retiring[slot] {
                     return self.retire(slot);
                 }
                 self.set_ready(slot, true);
@@ -175,9 +182,8 @@ impl Sm {
                 break;
             }
             self.sleepers.pop();
-            let slot = slot as usize;
-            if self.warps[slot].is_some() {
-                self.set_ready(slot, true);
+            if self.occupied & (1u64 << slot) != 0 {
+                self.set_ready(slot as usize, true);
             }
         }
     }
@@ -185,9 +191,7 @@ impl Sm {
     /// Cheap check whether `issue` could do anything this cycle.
     pub fn has_ready_work(&self) -> bool {
         // `ready` bits are authoritative; sleepers are woken by `wake`.
-        // The count is maintained by `set_ready`, so this is O(1)
-        // rather than a scan over every warp slot.
-        self.ready_count > 0
+        self.ready != 0
     }
 
     /// Next wake-up cycle of any sleeping warp, if all are asleep.
@@ -214,15 +218,15 @@ impl Sm {
         let line = u64::from(cfg.l1.line_bytes);
 
         for _ in 0..cfg.issue_per_sm {
-            let Some(slot) = self.sched.pick(&self.ready, &self.ages) else {
+            let Some(slot) = self.sched.pick(self.ready, &self.warps.ages) else {
                 break;
             };
             // Every arm below clears the picked warp's ready bit (it
             // either sleeps, waits on memory, parks at a barrier or
             // retires), so clear it once up front.
             self.set_ready(slot, false);
-            let warp = self.warps[slot].as_mut().expect("ready slot has a warp");
-            let op = kernel.body[warp.pc as usize];
+            debug_assert!(self.occupied & (1u64 << slot) != 0, "ready slot has a warp");
+            let op = kernel.body[self.warps.pc[slot] as usize];
 
             match op {
                 Op::Alu { latency } | Op::Sfu { latency } => {
@@ -230,7 +234,7 @@ impl Sm {
                     s.warp_insts += 1;
                     s.thread_insts += u64::from(kernel.active_lanes);
                     s.alu_insts += 1;
-                    let done = warp.advance(body_len);
+                    let done = self.warps.advance(slot, body_len);
                     if done {
                         retired_blocks += self.retire(slot);
                     } else {
@@ -241,14 +245,18 @@ impl Sm {
                 Op::Load(PatternId(p)) => {
                     let p = usize::from(p);
                     let pattern = &kernel.patterns[p];
-                    let global_warp = u64::from(warp.block) * u64::from(kernel.warps_per_block)
-                        + u64::from(warp.warp_in_block);
+                    let block = self.warps.block[slot];
+                    let warp_in_block = self.warps.warp_in_block[slot];
+                    let global_warp = u64::from(block) * u64::from(kernel.warps_per_block)
+                        + u64::from(warp_in_block);
                     self.addr_buf.clear();
                     generate_addresses(
                         pattern,
                         p,
                         app_base,
-                        warp,
+                        block,
+                        warp_in_block,
+                        self.warps.pattern_ctr[slot][p],
                         global_warp,
                         total_warps,
                         line,
@@ -297,8 +305,8 @@ impl Sm {
                     s.l1_hits += hits;
                     s.l1_misses += miss_addrs as u64;
 
-                    bump_counter(warp, p);
-                    let done = warp.advance(body_len);
+                    self.warps.bump_counter(slot, p);
+                    let done = self.warps.advance(slot, body_len);
                     if miss_addrs == 0 {
                         // All hits: short fixed latency, or immediate
                         // retirement when this was the final instruction.
@@ -309,11 +317,11 @@ impl Sm {
                                 .push(Reverse((now + u64::from(cfg.l1_hit_lat), slot as u32)));
                         }
                     } else {
-                        warp.outstanding = miss_addrs as u16;
+                        self.warps.outstanding[slot] = miss_addrs as u16;
                         // Retirement (if this was the final instruction)
                         // waits until the last response returns, so the
                         // slot cannot be recycled under in-flight events.
-                        warp.retiring = done;
+                        self.warps.retiring[slot] = done;
                         for &addr in &self.addr_buf {
                             memsys.push(MemRequest {
                                 addr,
@@ -331,7 +339,7 @@ impl Sm {
                     s.warp_insts += 1;
                     s.thread_insts += u64::from(kernel.active_lanes);
                     s.alu_insts += 1;
-                    let block = warp.block;
+                    let block = self.warps.block[slot];
                     let b = self
                         .blocks
                         .iter_mut()
@@ -343,10 +351,7 @@ impl Sm {
                         let waiters = std::mem::take(&mut b.barrier_waiters);
                         for w_slot in waiters {
                             let ws = w_slot as usize;
-                            let done = self.warps[ws]
-                                .as_mut()
-                                .expect("waiter resident")
-                                .advance(body_len);
+                            let done = self.warps.advance(ws, body_len);
                             if done {
                                 retired_blocks += self.retire(ws);
                             } else {
@@ -358,14 +363,18 @@ impl Sm {
                 Op::Store(PatternId(p)) => {
                     let p = usize::from(p);
                     let pattern = &kernel.patterns[p];
-                    let global_warp = u64::from(warp.block) * u64::from(kernel.warps_per_block)
-                        + u64::from(warp.warp_in_block);
+                    let block = self.warps.block[slot];
+                    let warp_in_block = self.warps.warp_in_block[slot];
+                    let global_warp = u64::from(block) * u64::from(kernel.warps_per_block)
+                        + u64::from(warp_in_block);
                     self.addr_buf.clear();
                     generate_addresses(
                         pattern,
                         p,
                         app_base,
-                        warp,
+                        block,
+                        warp_in_block,
+                        self.warps.pattern_ctr[slot][p],
                         global_warp,
                         total_warps,
                         line,
@@ -391,8 +400,8 @@ impl Sm {
                             arrive_at: now + u64::from(cfg.icnt_lat),
                         });
                     }
-                    bump_counter(warp, p);
-                    let done = warp.advance(body_len);
+                    self.warps.bump_counter(slot, p);
+                    let done = self.warps.advance(slot, body_len);
                     if done {
                         // Stores are fire-and-forget; nothing to wait for.
                         retired_blocks += self.retire(slot);
@@ -408,14 +417,19 @@ impl Sm {
 
     /// Retires the warp in `slot`; returns 1 if its block completed.
     fn retire(&mut self, slot: usize) -> u32 {
-        let warp = self.warps[slot].take().expect("retiring empty slot");
+        debug_assert!(
+            self.occupied & (1u64 << slot) != 0,
+            "retiring empty slot"
+        );
+        let block = self.warps.block[slot];
+        self.warps.release(slot);
+        self.occupied &= !(1u64 << slot);
         self.set_ready(slot, false);
-        self.ages[slot] = u64::MAX;
         self.free_slots += 1;
         let idx = self
             .blocks
             .iter()
-            .position(|b| b.block == warp.block)
+            .position(|b| b.block == block)
             .expect("warp's block is resident");
         self.blocks[idx].warps_left -= 1;
         if self.blocks[idx].warps_left == 0 {

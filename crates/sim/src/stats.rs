@@ -163,6 +163,15 @@ impl SimStats {
             .map(|(i, s)| (AppId(i as u16), s))
     }
 
+    /// Overwrites `self` with `src` without allocating (the app vector
+    /// is reused). Windowed observers snapshot simulator stats every few
+    /// thousand cycles; this keeps that path free of clone churn.
+    pub fn copy_from(&mut self, src: &SimStats) {
+        self.apps.clear();
+        self.apps.extend_from_slice(&src.apps);
+        self.cycles = src.cycles;
+    }
+
     /// Device throughput: total thread instructions over device cycles
     /// (Eq. 1.1 of the thesis).
     pub fn device_throughput(&self) -> f64 {

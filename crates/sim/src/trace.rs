@@ -77,12 +77,12 @@ impl WindowTrace {
     /// Advances the device one window and records a sample.
     pub fn step_window(&mut self, gpu: &mut Gpu) {
         gpu.run_for(self.window);
-        let now = gpu.stats().clone();
+        let now = gpu.stats();
         let delta = now.cycles.saturating_sub(self.prev.cycles);
         if delta == 0 {
             return;
         }
-        let w = window_between(&self.prev, &now, delta);
+        let w = window_between(&self.prev, now, delta);
         self.samples.push(WindowSample {
             cycle: now.cycles,
             device_ipc: w.device_ipc,
@@ -98,7 +98,7 @@ impl WindowTrace {
                 .collect(),
             sm_counts: self.apps.iter().map(|&a| gpu.sm_count(a)).collect(),
         });
-        self.prev = now;
+        self.prev.copy_from(gpu.stats());
     }
 
     /// Runs to completion, sampling every window.

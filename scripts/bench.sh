@@ -21,11 +21,18 @@
 #                               benchmark still runs and emits JSON
 #
 # A full run also compares the fresh numbers against the committed
-# BENCH_sim.json baseline: every device bench runs with no fault plan
-# installed, so the fault-injection layer must stay zero-cost on the
-# healthy path (one branch per step). A bench whose min_ns exceeds the
-# baseline by more than BENCH_TOLERANCE (default 1.6x, generous for
-# shared machines) fails the script. Smoke runs skip the comparison.
+# baselines: every device bench runs with no fault plan installed, so
+# the fault-injection layer must stay zero-cost on the healthy path
+# (one branch per step). Both families (BENCH_sim.json and
+# BENCH_sched.json) go through the one gate below, which prints the
+# full per-bench min_ns delta table and fails if any bench exceeds its
+# tolerance. Tolerance resolution, per bench:
+#   1. a per-bench override in BENCH_TOLERANCES ("name=2.0,name=2.5")
+#   2. BENCH_TOLERANCE (default 1.6x, generous for shared machines)
+# Regressions smaller than BENCH_NOISE_FLOOR_NS (default 50 ns) never
+# fail regardless of the ratio: single-digit-ns benches (the scheduler
+# picks) sit at the timer's resolution, where 1 ns -> 2 ns is
+# quantization, not a regression. Smoke runs skip the comparison.
 #
 # Offline by construction, like scripts/ci.sh.
 
@@ -56,24 +63,53 @@ SCHED_RAW=$(mktemp)
 SCHED_BASELINE=$(mktemp)
 trap 'rm -f "$RAW" "$BASELINE" "$SCHED_RAW" "$SCHED_BASELINE"' EXIT
 
-# Gate fresh min_ns numbers in $2 against the baseline snapshot in $1.
-gate_against_baseline() {
-    awk -v tol="${BENCH_TOLERANCE:-1.6}" '
+# The one regression gate shared by both benchmark families. Gates the
+# fresh min_ns numbers in $2 against the baseline snapshot in $1 and
+# always prints the full per-bench delta table so a failing run shows
+# every bench, not just the offender. min_ns is the least noisy
+# statistic; benches absent from the baseline pass as "new".
+gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
+    awk -v deftol="${BENCH_TOLERANCE:-1.6}" -v overrides="${BENCH_TOLERANCES:-}" \
+        -v floor="${BENCH_NOISE_FLOOR_NS:-50}" '
+        function tol_for(name) { return (name in tolmap) ? tolmap[name] : deftol }
         function parse(line,   name, min) {
             name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
             min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
             return name SUBSEP min
         }
+        BEGIN {
+            n = split(overrides, pairs, ",")
+            for (i = 1; i <= n; i++)
+                if (split(pairs[i], kv, "=") == 2) tolmap[kv[1]] = kv[2]
+        }
         /"min_ns"/ {
             split(parse($0), kv, SUBSEP)
             if (NR == FNR) { base[kv[1]] = kv[2]; next }
-            if (kv[1] in base && base[kv[1]] > 0 && kv[2] > base[kv[1]] * tol) {
-                printf "REGRESSION %s: min_ns %s vs baseline %s (> %sx)\n",
-                       kv[1], kv[2], base[kv[1]], tol
-                bad = 1
-            }
+            order[++m] = kv[1]; fresh[kv[1]] = kv[2]
         }
-        END { exit bad }
+        END {
+            printf "  %-52s %14s %14s %8s  %s\n",
+                   "bench", "baseline", "fresh", "delta", "gate"
+            for (i = 1; i <= m; i++) {
+                name = order[i]; cur = fresh[name] + 0
+                if (!(name in base) || base[name] + 0 <= 0) {
+                    printf "  %-52s %14s %14d %8s  new\n", name, "-", cur, "-"
+                    continue
+                }
+                ref = base[name] + 0
+                t = tol_for(name)
+                if (cur > ref * t && cur - ref > floor) {
+                    verdict = sprintf("FAIL (>%sx)", t); bad = 1
+                } else if (cur > ref * t) {
+                    verdict = sprintf("ok (+%dns < noise floor)", cur - ref)
+                } else {
+                    verdict = sprintf("ok (<=%sx)", t)
+                }
+                printf "  %-52s %14d %14d %+7.1f%%  %s\n",
+                       name, ref, cur, (cur / ref - 1) * 100, verdict
+            }
+            exit bad
+        }
     ' "$1" "$2"
 }
 

@@ -19,6 +19,13 @@
 #                               tests/sched.rs suite (DESIGN.md §10) and a
 #                               short seeded trace through schedd_sim under
 #                               all three policies at TEST scale, then exits
+#   scripts/ci.sh --profile-smoke
+#                               phase-profiler gate only: runs one SMALL
+#                               co-run sweep with --profile and a cold cache
+#                               at 1/2/8 worker threads, asserts the phase
+#                               totals sum to the simulated cycle count and
+#                               that the profile line is byte-identical at
+#                               every thread count, then exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -33,13 +40,15 @@ QUICK=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 SCHED_SMOKE=0
+PROFILE_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
         --chaos-smoke) CHAOS_SMOKE=1 ;;
         --sched-smoke) SCHED_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke]" >&2; exit 2 ;;
+        --profile-smoke) PROFILE_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -69,6 +78,36 @@ if [ "$SCHED_SMOKE" -eq 1 ]; then
     done
     echo
     echo "sched smoke passed"
+    exit 0
+fi
+
+if [ "$PROFILE_SMOKE" -eq 1 ]; then
+    step "profile smoke (fig41_two_app --profile, GCS_SCALE=small, cache off)"
+    cargo build --release --bin fig41_two_app
+    REF=""
+    for threads in 1 2 8; do
+        LINE=$(GCS_CACHE=off GCS_SCALE=small GCS_THREADS=$threads \
+               ./target/release/fig41_two_app --profile | grep '^profile:') || {
+            echo "no profile line in fig41_two_app --profile output" >&2; exit 1;
+        }
+        echo "  threads=$threads  $LINE"
+        TOTAL=$(echo "$LINE" | sed -n 's/.* total=\([0-9]*\).*/\1/p')
+        SIM=$(echo "$LINE" | sed -n 's/.* sim_cycles=\([0-9]*\).*/\1/p')
+        if [ -z "$TOTAL" ] || [ "$TOTAL" -eq 0 ] || [ "$TOTAL" != "$SIM" ]; then
+            echo "phase totals ($TOTAL) must sum to simulated cycles ($SIM)" >&2
+            exit 1
+        fi
+        if [ -z "$REF" ]; then
+            REF="$LINE"
+        elif [ "$LINE" != "$REF" ]; then
+            echo "profile line differs at $threads threads:" >&2
+            echo "  ref: $REF" >&2
+            echo "  got: $LINE" >&2
+            exit 1
+        fi
+    done
+    echo
+    echo "profile smoke passed (totals partition the cycles; byte-stable at 1/2/8 threads)"
     exit 0
 fi
 
