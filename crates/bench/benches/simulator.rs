@@ -106,4 +106,24 @@ fn main() {
         gpu.run(50_000_000).expect("run");
         gpu.cycle()
     });
+
+    // Trace replay overhead: record BLK once, then time a full replay
+    // run against the synthetic baseline above. Replay swaps address
+    // generation for a cursor walk over the recorded attempts, so it
+    // should cost no more than synthetic execution.
+    let blk_trace = {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
+        let app = gpu.launch(Benchmark::Blk.kernel(Scale::TEST)).expect("a");
+        gpu.enable_trace_recording(app).expect("recorder");
+        gpu.partition_even();
+        gpu.run(50_000_000).expect("run");
+        std::sync::Arc::new(gpu.take_trace(app).expect("trace"))
+    };
+    bench("sim/device/test_small_trace_replay_blk_complete", || {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("gpu");
+        gpu.launch_traced(std::sync::Arc::clone(&blk_trace)).expect("a");
+        gpu.partition_even();
+        gpu.run(50_000_000).expect("run");
+        gpu.cycle()
+    });
 }

@@ -1,0 +1,75 @@
+//! Records a synthetic suite benchmark's instruction + address trace.
+//!
+//! Runs the named benchmark alone on the `test_small` device at the
+//! `GCS_SCALE`-selected scale with the issue-path recorder enabled, and
+//! writes the versioned binary trace. With `--json PATH` it also dumps
+//! the human-readable debug view.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin trace_record -- BLK blk.trace
+//! cargo run --release -p gcs-bench --bin trace_record -- BLK blk.trace --json blk.json
+//! ```
+//!
+//! The printed `record:` line (name, content fingerprint, sizes) is
+//! byte-stable across machines and thread counts — `scripts/ci.sh
+//! --trace-smoke` pins that.
+
+use gcs_bench::scale_from_env;
+use gcs_core::profile::PROFILE_MAX_CYCLES;
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: trace_record <BENCH> <OUT.trace> [--json OUT.json]");
+        eprintln!(
+            "benchmarks: {}",
+            Benchmark::ALL
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+    let Some(bench) = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(&args[0]))
+    else {
+        eprintln!("unknown benchmark {:?}", args[0]);
+        std::process::exit(2);
+    };
+    let out_path = &args[1];
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+
+    let cfg = GpuConfig::test_small();
+    let scale = scale_from_env();
+    let mut gpu = Gpu::new(cfg.clone()).expect("device");
+    let app = gpu.launch(bench.kernel(scale)).expect("launch");
+    gpu.enable_trace_recording(app).expect("recorder");
+    let ids: Vec<u32> = (0..cfg.num_sms).collect();
+    gpu.assign_sms(app, &ids);
+    gpu.run(PROFILE_MAX_CYCLES).expect("run");
+    let trace = gpu.take_trace(app).expect("trace");
+
+    let bytes = trace.encode();
+    std::fs::write(out_path, &bytes).expect("write trace");
+    if let Some(p) = json_path {
+        std::fs::write(p, trace.to_json()).expect("write json");
+    }
+    println!(
+        "record: name={} fp={:016x} warps={} accesses={} attempts={} bytes={}",
+        trace.meta.name,
+        trace.fingerprint(),
+        trace.warps.len(),
+        trace.total_accesses(),
+        trace.total_attempts(),
+        bytes.len(),
+    );
+}

@@ -1,0 +1,57 @@
+//! Replays a recorded trace through the sweep engine and reports its
+//! alone-run profile.
+//!
+//! Decodes the binary trace written by `trace_record` (rejecting
+//! corrupt or truncated files with a typed error), then profiles it on
+//! the `test_small` device via [`SweepEngine::profile_workload`] — the
+//! same memoized path synthetic benchmarks take, honoring
+//! `GCS_THREADS` and `GCS_CACHE`.
+//!
+//! ```text
+//! cargo run --release -p gcs-bench --bin trace_replay -- blk.trace
+//! ```
+//!
+//! The printed `replay:` line is byte-stable across thread counts and
+//! step modes (`scripts/ci.sh --trace-smoke` pins that).
+//!
+//! [`SweepEngine::profile_workload`]: gcs_core::sweep::SweepEngine::profile_workload
+
+use std::sync::Arc;
+
+use gcs_bench::{default_engine, scale_from_env};
+use gcs_core::sweep::Workload;
+use gcs_sim::config::GpuConfig;
+use gcs_sim::KernelTrace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 1 {
+        eprintln!("usage: trace_replay <IN.trace>");
+        std::process::exit(2);
+    }
+    let bytes = match std::fs::read(&args[0]) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {:?}: {e}", args[0]);
+            std::process::exit(2);
+        }
+    };
+    let trace = match KernelTrace::decode(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("invalid trace {:?}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = GpuConfig::test_small();
+    let engine = default_engine();
+    let workload = Workload::Trace(Arc::new(trace));
+    let p = engine
+        .profile_workload(&cfg, scale_from_env(), &workload, cfg.num_sms)
+        .expect("replay profile");
+    println!(
+        "replay: name={} cycles={} insts={} ipc={:.4} bw={:.3} l2l1={:.3} r={:.4} util={:.4}",
+        p.name, p.cycles, p.thread_insts, p.ipc, p.memory_bw, p.l2_l1_bw, p.r, p.utilization,
+    );
+}

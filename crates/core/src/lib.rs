@@ -64,7 +64,7 @@ pub use classify::{classify, classify_suite, AppClass, Thresholds};
 pub use fault::{Degradation, RetryPolicy};
 pub use interference::InterferenceMatrix;
 pub use profile::AppProfile;
-pub use sweep::{SweepEngine, SweepStats};
+pub use sweep::{SweepEngine, SweepStats, Workload};
 
 use std::error::Error;
 use std::fmt;

@@ -18,7 +18,9 @@
 
 use gcs_sim::config::GpuConfig;
 use gcs_sim::gpu::{Gpu, PhaseCycles, SimError};
-use gcs_sim::kernel::KernelDesc;
+use gcs_sim::kernel::{AppId, KernelDesc};
+use gcs_sim::KernelTrace;
+use std::sync::Arc;
 
 /// Cycle budget for a profiling run; generous relative to the workload
 /// sizes the suite produces.
@@ -100,6 +102,41 @@ pub fn profile_with_sms_phases(
     num_sms: u32,
     phases: bool,
 ) -> Result<(AppProfile, Option<PhaseCycles>), SimError> {
+    profile_launched(cfg, num_sms, phases, &kernel.name, |gpu| {
+        gpu.launch(kernel.clone())
+    })
+}
+
+/// Like [`profile_with_sms_phases`], but the application replays a
+/// recorded or authored [`KernelTrace`] instead of executing a
+/// synthetic kernel. Signal math and cycle accounting are shared, so a
+/// trace recorded from a kernel profiles bit-identically to the kernel
+/// itself.
+///
+/// # Errors
+///
+/// Same as [`profile_with_sms`], plus [`SimError::InvalidKernel`] for a
+/// trace that fails validation.
+pub fn profile_trace_with_sms_phases(
+    trace: &Arc<KernelTrace>,
+    cfg: &GpuConfig,
+    num_sms: u32,
+    phases: bool,
+) -> Result<(AppProfile, Option<PhaseCycles>), SimError> {
+    profile_launched(cfg, num_sms, phases, &trace.meta.name, |gpu| {
+        gpu.launch_traced(Arc::clone(trace))
+    })
+}
+
+/// Shared profiling body: launch via `launch`, run alone on the first
+/// `num_sms` SMs, compute the four classifier signals.
+fn profile_launched(
+    cfg: &GpuConfig,
+    num_sms: u32,
+    phases: bool,
+    name: &str,
+    launch: impl FnOnce(&mut Gpu) -> Result<AppId, SimError>,
+) -> Result<(AppProfile, Option<PhaseCycles>), SimError> {
     if num_sms == 0 || num_sms > cfg.num_sms {
         return Err(SimError::InvalidConfig(format!(
             "profiling with {num_sms} SMs on a {}-SM device",
@@ -108,7 +145,7 @@ pub fn profile_with_sms_phases(
     }
     let mut gpu = Gpu::new(cfg.clone())?;
     gpu.set_profiling(phases);
-    let app = gpu.launch(kernel.clone())?;
+    let app = launch(&mut gpu)?;
     let ids: Vec<u32> = (0..num_sms).collect();
     gpu.assign_sms(app, &ids);
     gpu.run(PROFILE_MAX_CYCLES)?;
@@ -119,7 +156,7 @@ pub fn profile_with_sms_phases(
     let ipc = stats.thread_ipc();
     Ok((
         AppProfile {
-            name: kernel.name.clone(),
+            name: name.to_string(),
             memory_bw: to_gbps(stats.dram_bytes()),
             l2_l1_bw: to_gbps(stats.l2_to_l1_bytes),
             ipc,

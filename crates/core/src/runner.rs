@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use gcs_sim::config::GpuConfig;
+use gcs_sim::KernelTrace;
 use gcs_workloads::{Benchmark, Scale};
 
 use crate::classify::{classify_suite, AppClass, Thresholds};
@@ -30,7 +31,7 @@ use crate::ilp::solve_grouping_with_limit;
 use crate::interference::InterferenceMatrix;
 use crate::profile::AppProfile;
 use crate::smra::SmraParams;
-use crate::sweep::{CorunMode, SweepEngine, SweepStats};
+use crate::sweep::{CorunMode, SweepEngine, SweepStats, Workload};
 use crate::CoreError;
 
 /// How groups are formed from the queue.
@@ -155,6 +156,10 @@ pub struct Pipeline {
     matrix: InterferenceMatrix,
     curves: BTreeMap<Benchmark, Vec<(u32, f64)>>,
     ilp_node_limit: Option<usize>,
+    /// Trace substitutions: a bound suite slot runs the trace instead
+    /// of the synthetic kernel everywhere — profiling, classification,
+    /// scalability curves and co-runs.
+    bindings: BTreeMap<Benchmark, Arc<KernelTrace>>,
 }
 
 impl Pipeline {
@@ -210,7 +215,34 @@ impl Pipeline {
         matrix: InterferenceMatrix,
         engine: Arc<SweepEngine>,
     ) -> Result<Self, CoreError> {
-        let ordered = engine.profile_suite(&cfg.gpu, cfg.scale, &Benchmark::ALL)?;
+        Self::with_matrix_engine_and_bindings(cfg, matrix, engine, BTreeMap::new())
+    }
+
+    /// [`Pipeline::with_matrix_and_engine`] with trace-backed suite
+    /// entries: each `(bench, trace)` binding substitutes the trace for
+    /// the synthetic kernel behind that suite slot. The bound slot is
+    /// profiled, classified and co-run from the trace; unbound slots
+    /// are untouched, and an empty map reproduces
+    /// [`Pipeline::with_matrix_and_engine`] exactly (same cache keys,
+    /// same job counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from the alone-run profiling,
+    /// including validation failures of a bound trace.
+    pub fn with_matrix_engine_and_bindings(
+        cfg: RunConfig,
+        matrix: InterferenceMatrix,
+        engine: Arc<SweepEngine>,
+        bindings: BTreeMap<Benchmark, Arc<KernelTrace>>,
+    ) -> Result<Self, CoreError> {
+        let workloads: Vec<Workload> = Benchmark::ALL
+            .iter()
+            .map(|b| resolve_workload(&bindings, *b))
+            .collect();
+        let ordered: Vec<AppProfile> = engine.run_parallel(workloads.len(), |i| {
+            engine.profile_workload(&cfg.gpu, cfg.scale, &workloads[i], cfg.gpu.num_sms)
+        })?;
         let profiles: BTreeMap<Benchmark, AppProfile> = Benchmark::ALL
             .iter()
             .copied()
@@ -227,7 +259,14 @@ impl Pipeline {
             matrix,
             curves: BTreeMap::new(),
             ilp_node_limit: None,
+            bindings,
         })
+    }
+
+    /// The workload behind a suite slot: the bound trace if one exists,
+    /// otherwise the synthetic benchmark.
+    pub fn workload_of(&self, bench: Benchmark) -> Workload {
+        resolve_workload(&self.bindings, bench)
     }
 
     /// Overrides the grouping ILP's branch & bound node budget (`None`
@@ -455,9 +494,10 @@ impl Pipeline {
                 group.len() as u32,
             )),
         };
+        let ws: Vec<Workload> = group.iter().map(|&b| self.workload_of(b)).collect();
         let out = self
             .engine
-            .corun(&self.cfg.gpu, self.cfg.scale, group, &mode)?;
+            .corun_workloads(&self.cfg.gpu, self.cfg.scale, &ws, &mode)?;
 
         let apps = group
             .iter()
@@ -578,14 +618,26 @@ impl Pipeline {
         let engine = Arc::clone(&self.engine);
         let gpu = self.cfg.gpu.clone();
         let scale = self.cfg.scale;
+        let workload = self.workload_of(bench);
         let curve: Vec<(u32, f64)> = engine
             .run_parallel(grid.len(), |i| {
                 engine
-                    .profile(&gpu, scale, bench, grid[i])
+                    .profile_workload(&gpu, scale, &workload, grid[i])
                     .map(|p| (grid[i], p.ipc))
             })?;
         self.curves.insert(bench, curve);
         Ok(())
+    }
+}
+
+/// The workload a `(bindings, bench)` pair resolves to.
+fn resolve_workload(
+    bindings: &BTreeMap<Benchmark, Arc<KernelTrace>>,
+    bench: Benchmark,
+) -> Workload {
+    match bindings.get(&bench) {
+        Some(t) => Workload::Trace(Arc::clone(t)),
+        None => Workload::Bench(bench),
     }
 }
 

@@ -28,6 +28,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::config::GpuConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
@@ -35,6 +36,7 @@ use crate::kernel::{AppId, KernelDesc};
 use crate::memsys::{Completion, MemSys};
 use crate::sm::Sm;
 use crate::stats::{DiagSnapshot, SimStats, SmDiag};
+use crate::trace_fmt::{KernelTrace, TraceHook, TraceRecorder};
 use crate::warp::check_pattern_limit;
 
 /// Maximum concurrently launched applications.
@@ -91,6 +93,18 @@ struct AppRuntime {
     blocks_done: u32,
     started: bool,
     finished: bool,
+    trace: AppTrace,
+}
+
+/// Trace mode of one launched application.
+#[derive(Debug)]
+enum AppTrace {
+    /// Plain synthetic execution.
+    Off,
+    /// Capture the issue path's address attempts.
+    Record(TraceRecorder),
+    /// Serve addresses from a recorded trace.
+    Replay(Arc<KernelTrace>),
 }
 
 /// How [`Gpu::run`] and [`Gpu::run_for`] advance the device clock.
@@ -388,8 +402,71 @@ impl Gpu {
             blocks_done: 0,
             started: false,
             finished: false,
+            trace: AppTrace::Off,
         });
         Ok(id)
+    }
+
+    /// Launches a recorded (or hand-authored) [`KernelTrace`] as an
+    /// application: the trace's reconstructed kernel goes through the
+    /// normal launch validation, and its issue path replays the recorded
+    /// address stream instead of generating addresses. Everything
+    /// downstream — stats, partitioning, SMRA, profiling — sees an
+    /// ordinary application.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidKernel`] when the trace fails
+    /// [`KernelTrace::validate`] or its reconstructed kernel fails the
+    /// launch checks, plus [`launch`](Gpu::launch)'s other errors.
+    pub fn launch_traced(&mut self, trace: Arc<KernelTrace>) -> Result<AppId, SimError> {
+        trace
+            .validate()
+            .map_err(|e| SimError::InvalidKernel(e.to_string()))?;
+        let id = self.launch(trace.kernel_desc())?;
+        self.apps[usize::from(id.0)].trace = AppTrace::Replay(trace);
+        Ok(id)
+    }
+
+    /// Arms trace recording for `app`: from here on, every
+    /// address-generation attempt of its issue path is captured.
+    /// Harvest the result with [`Gpu::take_trace`] after the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the app already started executing
+    /// (the trace would be missing its prefix) or is itself a replay.
+    pub fn enable_trace_recording(&mut self, app: AppId) -> Result<(), SimError> {
+        let base = app_base(app);
+        let a = &mut self.apps[usize::from(app.0)];
+        if a.started {
+            return Err(SimError::InvalidConfig(format!(
+                "cannot start recording app {}: it already began executing",
+                app.0
+            )));
+        }
+        if matches!(a.trace, AppTrace::Replay(_)) {
+            return Err(SimError::InvalidConfig(format!(
+                "cannot record app {}: it is replaying a trace",
+                app.0
+            )));
+        }
+        a.trace = AppTrace::Record(TraceRecorder::new(&a.kernel, &self.cfg, base));
+        Ok(())
+    }
+
+    /// Takes the recorded trace of `app`, if recording was enabled.
+    /// Call after the run completes; a run cut short yields a trace
+    /// that fails [`KernelTrace::validate`].
+    pub fn take_trace(&mut self, app: AppId) -> Option<KernelTrace> {
+        let a = &mut self.apps[usize::from(app.0)];
+        match std::mem::replace(&mut a.trace, AppTrace::Off) {
+            AppTrace::Record(rec) => Some(rec.finish()),
+            other => {
+                a.trace = other;
+                None
+            }
+        }
     }
 
     /// Number of launched applications.
@@ -573,6 +650,11 @@ impl Gpu {
             // drain, but never accepts new work.
             if sm.has_ready_work() {
                 any_issued = true;
+                let mut hook = match &mut app.trace {
+                    AppTrace::Off => TraceHook::None,
+                    AppTrace::Record(rec) => TraceHook::Record(rec),
+                    AppTrace::Replay(trace) => TraceHook::Replay(trace),
+                };
                 let retired = sm.issue(
                     now,
                     &app.kernel,
@@ -581,6 +663,7 @@ impl Gpu {
                     &self.cfg,
                     &mut self.memsys,
                     &mut self.stats,
+                    &mut hook,
                 );
                 app.blocks_done += retired;
                 any_retired |= retired > 0;
@@ -1267,6 +1350,128 @@ mod tests {
             degraded > healthy,
             "latency fault had no effect: {degraded} vs {healthy}"
         );
+    }
+
+    fn rand_kernel(name: &str, blocks: u32, ws: u64) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            grid_blocks: blocks,
+            warps_per_block: 2,
+            iters_per_warp: 20,
+            body: vec![
+                Op::Load(PatternId(0)),
+                Op::Alu { latency: 4 },
+                Op::Store(PatternId(1)),
+            ],
+            patterns: vec![
+                AccessPattern::random(ws, 4),
+                AccessPattern::streaming(ws),
+            ],
+            active_lanes: 32,
+        }
+    }
+
+    fn record_alone(kernel: KernelDesc) -> (KernelTrace, u64, crate::stats::SimStats) {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let app = gpu.launch(kernel).unwrap();
+        gpu.enable_trace_recording(app).unwrap();
+        gpu.partition_even();
+        gpu.run(40_000_000).unwrap();
+        let cycles = gpu.cycle();
+        let stats = gpu.stats().clone();
+        let trace = gpu.take_trace(app).expect("recording was enabled");
+        (trace, cycles, stats)
+    }
+
+    #[test]
+    fn record_then_replay_alone_is_bit_identical() {
+        for kernel in [mem_kernel("m", 16, 1 << 22), rand_kernel("r", 16, 1 << 22)] {
+            let (trace, cycles, stats) = record_alone(kernel);
+            trace.validate().unwrap();
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            gpu.launch_traced(Arc::new(trace)).unwrap();
+            gpu.partition_even();
+            gpu.run(40_000_000).unwrap();
+            assert_eq!(gpu.cycle(), cycles, "replay cycle count diverges");
+            assert_eq!(*gpu.stats(), stats, "replay stats diverge");
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_step_modes() {
+        let (trace, cycles, stats) = record_alone(rand_kernel("r", 16, 1 << 22));
+        let trace = Arc::new(trace);
+        for mode in [StepMode::Cycle, StepMode::EventHorizon] {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            gpu.set_step_mode(mode);
+            gpu.launch_traced(Arc::clone(&trace)).unwrap();
+            gpu.partition_even();
+            gpu.run(40_000_000).unwrap();
+            assert_eq!(gpu.cycle(), cycles, "{mode:?} cycle count diverges");
+            assert_eq!(*gpu.stats(), stats, "{mode:?} stats diverge");
+        }
+    }
+
+    #[test]
+    fn trace_recorded_in_corun_replays_bit_identically_in_context() {
+        // Record member A while co-running with a Random-pattern partner,
+        // then replay traced-A next to the same synthetic partner. The
+        // RNG-parity burn keeps the partner's per-SM stream untouched.
+        let run = |traced: Option<Arc<KernelTrace>>| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            let a = match &traced {
+                Some(t) => gpu.launch_traced(Arc::clone(t)).unwrap(),
+                None => {
+                    let a = gpu.launch(mem_kernel("a", 16, 1 << 22)).unwrap();
+                    gpu.enable_trace_recording(a).unwrap();
+                    a
+                }
+            };
+            gpu.launch(rand_kernel("b", 16, 1 << 22)).unwrap();
+            gpu.partition_even();
+            gpu.run(40_000_000).unwrap();
+            let trace = gpu.take_trace(a);
+            (gpu.cycle(), gpu.stats().clone(), trace)
+        };
+        let (c1, s1, trace) = run(None);
+        let trace = Arc::new(trace.expect("recording was enabled"));
+        let (c2, s2, none) = run(Some(trace));
+        assert!(none.is_none(), "replay app records nothing");
+        assert_eq!(c1, c2, "co-run replay cycle count diverges");
+        assert_eq!(s1, s2, "co-run replay stats diverge");
+    }
+
+    #[test]
+    fn trace_recording_state_errors() {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let a = gpu.launch(mem_kernel("a", 4, 1 << 20)).unwrap();
+        gpu.partition_even();
+        gpu.run_for(10);
+        // Too late: the app has already started issuing.
+        assert!(matches!(
+            gpu.enable_trace_recording(a),
+            Err(SimError::InvalidConfig(_))
+        ));
+        // Replaying apps can't also record.
+        let (trace, _, _) = record_alone(mem_kernel("m", 4, 1 << 20));
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        let r = gpu.launch_traced(Arc::new(trace)).unwrap();
+        assert!(matches!(
+            gpu.enable_trace_recording(r),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(gpu.take_trace(r).is_none());
+    }
+
+    #[test]
+    fn launch_traced_rejects_invalid_trace() {
+        let (mut trace, _, _) = record_alone(mem_kernel("m", 4, 1 << 20));
+        trace.warps.pop();
+        let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+        assert!(matches!(
+            gpu.launch_traced(Arc::new(trace)),
+            Err(SimError::InvalidKernel(_))
+        ));
     }
 
     #[test]

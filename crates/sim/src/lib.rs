@@ -62,10 +62,12 @@ pub mod sched;
 pub mod sm;
 pub mod stats;
 pub mod trace;
+pub mod trace_fmt;
 pub mod warp;
 
 pub use config::GpuConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use gpu::{Gpu, SimError, StepMode};
 pub use kernel::{AccessPattern, AppId, KernelDesc, Op, PatternId, PatternKind};
+pub use trace_fmt::{KernelTrace, TraceBuilder, TraceFmtError, TraceRecorder};
 pub use stats::{AppStats, DiagSnapshot, SimStats, SliceDiag, SmDiag};

@@ -11,7 +11,8 @@ use crate::memsys::{MemRequest, MemSys};
 use crate::rng::SimRng;
 use crate::sched::WarpScheduler;
 use crate::stats::SimStats;
-use crate::warp::{generate_addresses, WarpTable};
+use crate::trace_fmt::TraceHook;
+use crate::warp::{burn_random_draws, generate_addresses, WarpTable};
 
 /// A block resident on an SM: its id and how many of its warps are
 /// still alive (drain-based SM migration waits for this to reach zero
@@ -211,6 +212,7 @@ impl Sm {
         cfg: &GpuConfig,
         memsys: &mut MemSys,
         stats: &mut SimStats,
+        hook: &mut TraceHook<'_>,
     ) -> u32 {
         let mut retired_blocks = 0;
         let body_len = kernel.body.len() as u32;
@@ -250,19 +252,33 @@ impl Sm {
                     let global_warp = u64::from(block) * u64::from(kernel.warps_per_block)
                         + u64::from(warp_in_block);
                     self.addr_buf.clear();
-                    generate_addresses(
-                        pattern,
-                        p,
-                        app_base,
-                        block,
-                        warp_in_block,
-                        self.warps.pattern_ctr[slot][p],
-                        global_warp,
-                        total_warps,
-                        line,
-                        &mut self.rng,
-                        &mut self.addr_buf,
-                    );
+                    if let TraceHook::Replay(trace) = hook {
+                        trace.fill_addrs(
+                            global_warp,
+                            self.warps.replay_group[slot],
+                            self.warps.replay_attempt[slot],
+                            app_base,
+                            &mut self.addr_buf,
+                        );
+                        burn_random_draws(pattern, line, &mut self.rng);
+                    } else {
+                        generate_addresses(
+                            pattern,
+                            p,
+                            app_base,
+                            block,
+                            warp_in_block,
+                            self.warps.pattern_ctr[slot][p],
+                            global_warp,
+                            total_warps,
+                            line,
+                            &mut self.rng,
+                            &mut self.addr_buf,
+                        );
+                    }
+                    if let TraceHook::Record(rec) = hook {
+                        rec.record_attempt(global_warp, &self.addr_buf);
+                    }
 
                     // L1 probe per transaction WITHOUT allocating: a load
                     // may still be rejected by back-pressure below, and
@@ -289,6 +305,7 @@ impl Sm {
                     // Back-pressure: if any miss target cannot accept,
                     // retry the whole load later (no partial issue).
                     if miss_addrs > 0 && self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
+                        self.warps.bump_attempt(slot);
                         self.sleepers.push(Reverse((now + 2, slot as u32)));
                         continue;
                     }
@@ -305,7 +322,11 @@ impl Sm {
                     s.l1_hits += hits;
                     s.l1_misses += miss_addrs as u64;
 
+                    if let TraceHook::Record(rec) = hook {
+                        rec.commit(global_warp);
+                    }
                     self.warps.bump_counter(slot, p);
+                    self.warps.bump_access(slot);
                     let done = self.warps.advance(slot, body_len);
                     if miss_addrs == 0 {
                         // All hits: short fixed latency, or immediate
@@ -368,20 +389,35 @@ impl Sm {
                     let global_warp = u64::from(block) * u64::from(kernel.warps_per_block)
                         + u64::from(warp_in_block);
                     self.addr_buf.clear();
-                    generate_addresses(
-                        pattern,
-                        p,
-                        app_base,
-                        block,
-                        warp_in_block,
-                        self.warps.pattern_ctr[slot][p],
-                        global_warp,
-                        total_warps,
-                        line,
-                        &mut self.rng,
-                        &mut self.addr_buf,
-                    );
+                    if let TraceHook::Replay(trace) = hook {
+                        trace.fill_addrs(
+                            global_warp,
+                            self.warps.replay_group[slot],
+                            self.warps.replay_attempt[slot],
+                            app_base,
+                            &mut self.addr_buf,
+                        );
+                        burn_random_draws(pattern, line, &mut self.rng);
+                    } else {
+                        generate_addresses(
+                            pattern,
+                            p,
+                            app_base,
+                            block,
+                            warp_in_block,
+                            self.warps.pattern_ctr[slot][p],
+                            global_warp,
+                            total_warps,
+                            line,
+                            &mut self.rng,
+                            &mut self.addr_buf,
+                        );
+                    }
+                    if let TraceHook::Record(rec) = hook {
+                        rec.record_attempt(global_warp, &self.addr_buf);
+                    }
                     if self.addr_buf.iter().any(|&a| !memsys.can_accept(a)) {
+                        self.warps.bump_attempt(slot);
                         self.sleepers.push(Reverse((now + 2, slot as u32)));
                         continue;
                     }
@@ -400,7 +436,11 @@ impl Sm {
                             arrive_at: now + u64::from(cfg.icnt_lat),
                         });
                     }
+                    if let TraceHook::Record(rec) = hook {
+                        rec.commit(global_warp);
+                    }
                     self.warps.bump_counter(slot, p);
+                    self.warps.bump_access(slot);
                     let done = self.warps.advance(slot, body_len);
                     if done {
                         // Stores are fire-and-forget; nothing to wait for.
@@ -507,7 +547,8 @@ mod tests {
                 done_blocks += sm.on_mem_response(c.warp_slot);
             }
             ms.tick(cycle, &mut st);
-            done_blocks += sm.issue(cycle, kernel, AppId(0), 0, cfg, &mut ms, &mut st);
+            done_blocks +=
+                sm.issue(cycle, kernel, AppId(0), 0, cfg, &mut ms, &mut st, &mut TraceHook::None);
             cycle += 1;
             assert!(cycle < 1_000_000, "SM never drained");
         }
@@ -563,7 +604,7 @@ mod tests {
                 let _ = sm.on_mem_response(c.warp_slot);
             }
             ms.tick(cycle, &mut st);
-            sm.issue(cycle, &k, AppId(0), 0, &cfg, &mut ms, &mut st);
+            sm.issue(cycle, &k, AppId(0), 0, &cfg, &mut ms, &mut st, &mut TraceHook::None);
             cycle += 1;
             assert!(cycle < 100_000);
         }

@@ -41,6 +41,13 @@ pub struct WarpTable {
     pub retiring: Vec<bool>,
     /// Per-pattern access counters.
     pub pattern_ctr: Vec<[u32; MAX_PATTERNS]>,
+    /// Successful memory accesses so far (trace replay's group cursor:
+    /// addresses for the warp's next access come from this group of its
+    /// recorded stream).
+    pub replay_group: Vec<u32>,
+    /// Back-pressure retries of the *current* access (trace replay's
+    /// attempt cursor; reset when the access issues).
+    pub replay_attempt: Vec<u32>,
 }
 
 impl WarpTable {
@@ -55,6 +62,8 @@ impl WarpTable {
             outstanding: vec![0; slots],
             retiring: vec![false; slots],
             pattern_ctr: vec![[0; MAX_PATTERNS]; slots],
+            replay_group: vec![0; slots],
+            replay_attempt: vec![0; slots],
         }
     }
 
@@ -74,6 +83,8 @@ impl WarpTable {
         self.outstanding[slot] = 0;
         self.retiring[slot] = false;
         self.pattern_ctr[slot] = [0; MAX_PATTERNS];
+        self.replay_group[slot] = 0;
+        self.replay_attempt[slot] = 0;
     }
 
     /// Marks `slot` free again.
@@ -100,6 +111,18 @@ impl WarpTable {
     /// Bumps the pattern counter of `slot` after an access.
     pub fn bump_counter(&mut self, slot: usize, pattern_idx: usize) {
         self.pattern_ctr[slot][pattern_idx] = self.pattern_ctr[slot][pattern_idx].wrapping_add(1);
+    }
+
+    /// Advances the trace cursors past a successfully issued access.
+    pub fn bump_access(&mut self, slot: usize) {
+        self.replay_group[slot] = self.replay_group[slot].wrapping_add(1);
+        self.replay_attempt[slot] = 0;
+    }
+
+    /// Counts a back-pressure retry of the current access toward the
+    /// trace attempt cursor.
+    pub fn bump_attempt(&mut self, slot: usize) {
+        self.replay_attempt[slot] = self.replay_attempt[slot].saturating_add(1);
     }
 }
 
@@ -167,6 +190,24 @@ pub fn generate_addresses(
                 let line_in_tile = (u64::from(warp_in_block) + (counter * n + t)) % tile_lines;
                 out.push(base + tile * tile_bytes + line_in_tile * line_bytes);
             }
+        }
+    }
+}
+
+/// Consumes exactly the RNG draws [`generate_addresses`] would for one
+/// access through `pattern`, discarding them.
+///
+/// Trace replay calls this instead of generating: only `Random`
+/// patterns touch the per-SM RNG (one [`SimRng::gen_range`] per
+/// transaction), and keeping the stream position identical means a
+/// co-runner that later inherits this SM — an SMRA drain handoff —
+/// observes the exact RNG state the recording run produced. That parity
+/// is what makes replayed-next-to-synthetic co-runs bit-identical.
+pub fn burn_random_draws(pattern: &AccessPattern, line_bytes: u64, rng: &mut SimRng) {
+    if matches!(pattern.kind, PatternKind::Random) {
+        let ws_lines = (pattern.working_set / line_bytes).max(1);
+        for _ in 0..pattern.transactions {
+            let _ = rng.gen_range(ws_lines);
         }
     }
 }

@@ -26,6 +26,12 @@
 #                               totals sum to the simulated cycle count and
 #                               that the profile line is byte-identical at
 #                               every thread count, then exits
+#   scripts/ci.sh --trace-smoke trace record/replay gate only: records one
+#                               kernel with trace_record, replays it with
+#                               trace_replay at 1/2/8 worker threads with a
+#                               cold cache, and asserts the replay report
+#                               line is byte-identical every time, then
+#                               exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -41,6 +47,7 @@ BENCH_SMOKE=0
 CHAOS_SMOKE=0
 SCHED_SMOKE=0
 PROFILE_SMOKE=0
+TRACE_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
@@ -48,7 +55,8 @@ for arg in "$@"; do
         --chaos-smoke) CHAOS_SMOKE=1 ;;
         --sched-smoke) SCHED_SMOKE=1 ;;
         --profile-smoke) PROFILE_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke]" >&2; exit 2 ;;
+        --trace-smoke) TRACE_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -108,6 +116,36 @@ if [ "$PROFILE_SMOKE" -eq 1 ]; then
     done
     echo
     echo "profile smoke passed (totals partition the cycles; byte-stable at 1/2/8 threads)"
+    exit 0
+fi
+
+if [ "$TRACE_SMOKE" -eq 1 ]; then
+    step "trace smoke (trace_record + trace_replay round trip, GCS_SCALE=test)"
+    cargo build --release --bin trace_record --bin trace_replay
+    TRACE_DIR=$(mktemp -d)
+    trap 'rm -rf "$TRACE_DIR"' EXIT
+    GCS_SCALE=test ./target/release/trace_record BLK "$TRACE_DIR/blk.trace" \
+        --json "$TRACE_DIR/blk.json"
+    test -s "$TRACE_DIR/blk.trace" || { echo "empty trace file" >&2; exit 1; }
+    test -s "$TRACE_DIR/blk.json" || { echo "empty trace json" >&2; exit 1; }
+    REF=""
+    for threads in 1 2 8; do
+        LINE=$(GCS_CACHE=off GCS_SCALE=test GCS_THREADS=$threads \
+               ./target/release/trace_replay "$TRACE_DIR/blk.trace" | grep '^replay:') || {
+            echo "no replay line in trace_replay output" >&2; exit 1;
+        }
+        echo "  threads=$threads  $LINE"
+        if [ -z "$REF" ]; then
+            REF="$LINE"
+        elif [ "$LINE" != "$REF" ]; then
+            echo "replay line differs at $threads threads:" >&2
+            echo "  ref: $REF" >&2
+            echo "  got: $LINE" >&2
+            exit 1
+        fi
+    done
+    echo
+    echo "trace smoke passed (replay report byte-stable at 1/2/8 threads)"
     exit 0
 fi
 

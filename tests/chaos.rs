@@ -264,3 +264,32 @@ fn corrupted_cache_entries_are_quarantined_and_repaired() {
     assert_eq!(cached, reference);
     assert_eq!(hot.stats().jobs_cached, 1, "repair did not restore the cache");
 }
+
+/// A replayed trace under a fault plan behaves exactly like any other
+/// workload: the faulted run completes and is bit-identical across
+/// step modes (the replay cursors are driven by the same issue path
+/// the faults perturb).
+#[test]
+fn faulted_traced_replay_is_bit_identical_across_step_modes() {
+    let trace = {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("device");
+        let app = gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("launch");
+        gpu.enable_trace_recording(app).expect("recorder");
+        gpu.partition_even();
+        gpu.run(MAX_CYCLES).expect("recording run finishes");
+        std::sync::Arc::new(gpu.take_trace(app).expect("trace"))
+    };
+    let run = |mode: StepMode| {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("device");
+        gpu.set_step_mode(mode);
+        gpu.install_fault_plan(mixed_plan()).expect("valid plan");
+        gpu.launch_traced(std::sync::Arc::clone(&trace)).expect("launch");
+        gpu.partition_even();
+        gpu.run(MAX_CYCLES).expect("faulted replay finishes");
+        (gpu.stats().clone(), gpu.cycle())
+    };
+    let (s_cycle, c_cycle) = run(StepMode::Cycle);
+    let (s_eh, c_eh) = run(StepMode::EventHorizon);
+    assert_eq!(c_cycle, c_eh, "faulted replay cycle diverged between step modes");
+    assert_eq!(s_cycle, s_eh, "faulted replay stats diverged between step modes");
+}

@@ -110,3 +110,29 @@ fn sweep_job_accounting_is_thread_count_invariant() {
         "job/cycle accounting depends on thread count: {totals:?}"
     );
 }
+
+/// A traced workload through the engine is as thread-count stable as a
+/// synthetic one: the replayed profile's bits never move with the
+/// worker count.
+#[test]
+fn traced_workload_profile_is_thread_count_stable() {
+    use gcs_core::sweep::Workload;
+    use std::sync::Arc;
+
+    let cfg = GpuConfig::test_small();
+    let workload = Workload::Trace(Arc::new(gcs_workloads::phase_shift_trace(&cfg)));
+    let profile = |threads: usize| {
+        SweepEngine::new(threads)
+            .profile_workload(&cfg, Scale::TEST, &workload, cfg.num_sms)
+            .unwrap()
+    };
+    let reference = profile(1);
+    assert_eq!(reference.name, "TRACE_PHASE");
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            profile_bits(&reference),
+            profile_bits(&profile(threads)),
+            "traced profile diverged at {threads} threads"
+        );
+    }
+}

@@ -263,3 +263,52 @@ fn online_stp_matches_batch_derived_stp() {
     );
     assert!(report.antt() >= 1.0, "queueing can only slow jobs down");
 }
+
+/// Trace bindings reach the online scheduler untouched: two authored
+/// traces bound behind suite slots are scheduled, grouped and co-run
+/// by `gcs-sched`, and the rendered report JSON is byte-identical at
+/// 1, 2 and 8 sweep threads.
+#[test]
+fn bound_traces_flow_through_online_scheduler() {
+    use gcs_sim::KernelTrace;
+    use gcs_workloads::{phase_shift_trace, tensor_mix_trace};
+    use std::collections::BTreeMap;
+
+    let gpu_cfg = GpuConfig::test_small();
+    let bindings: BTreeMap<Benchmark, Arc<KernelTrace>> = BTreeMap::from([
+        (Benchmark::Jpeg, Arc::new(phase_shift_trace(&gpu_cfg))),
+        (Benchmark::Ray, Arc::new(tensor_mix_trace(&gpu_cfg))),
+    ]);
+    let trace = trace_at_zero(&[
+        Benchmark::Blk,
+        Benchmark::Jpeg,
+        Benchmark::Gups,
+        Benchmark::Ray,
+    ]);
+    let cfg = SchedConfig {
+        num_gpus: 1,
+        queue_capacity: 8,
+        alloc: AllocationPolicy::Smra,
+        replan_interval: None,
+    };
+    let mut renders = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut p = Pipeline::with_matrix_engine_and_bindings(
+            run_config(2),
+            InterferenceMatrix::synthetic_paper_shape(),
+            Arc::new(SweepEngine::new(threads)),
+            bindings.clone(),
+        )
+        .expect("pipeline with bindings");
+        let mut policy = PolicyKind::IlpEpoch.build();
+        let report = OnlineScheduler::new(&mut p, cfg)
+            .unwrap()
+            .run(&trace, policy.as_mut())
+            .expect("run");
+        assert_eq!(report.jobs.len(), 4, "all four jobs complete");
+        assert!(report.rejections.is_empty());
+        renders.push(report.to_json());
+    }
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}
