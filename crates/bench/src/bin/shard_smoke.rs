@@ -1,0 +1,88 @@
+//! Canonical-stats probe for the sharded-stepping CI gate
+//! (`scripts/ci.sh --shard-smoke`).
+//!
+//! Runs one fixed SMRA co-run (GUPS + SPMV at TEST scale on the GTX 480
+//! model) with the shard count given as the first argument and prints
+//! every statistic the run produced — per-app counters, device cycle,
+//! and the controller's action log — as one canonical JSON line
+//! (`stats: {...}`). The line deliberately omits the shard count
+//! itself, so the gate can diff the output at shards 1/2/4
+//! byte-for-byte: any divergence means sharding changed a result, which
+//! tests/shard_equivalence.rs pins as impossible.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use gcs_core::smra::{SmraController, SmraParams};
+use gcs_sim::config::GpuConfig;
+use gcs_sim::gpu::Gpu;
+use gcs_workloads::{Benchmark, Scale};
+
+fn main() {
+    let shards: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut gpu = Gpu::new(GpuConfig::gtx480()).expect("gpu");
+    gpu.set_shards(shards);
+    let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
+    let b = gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("b");
+    gpu.partition_even();
+    let params = SmraParams {
+        tc: 2_000,
+        ..SmraParams::for_device(gpu.config().num_sms, 2)
+    };
+    let mut ctl = SmraController::new(params, vec![a, b], &gpu);
+    for _ in 0..10 {
+        gpu.run_for(params.tc);
+        if gpu.all_done() {
+            break;
+        }
+        ctl.decide(&mut gpu);
+    }
+
+    let mut line = String::new();
+    let stats = gpu.stats();
+    write!(line, "{{\"cycle\":{}", gpu.cycle()).unwrap();
+    line.push_str(",\"actions\":[");
+    for (i, act) in ctl.actions().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write!(line, "\"{act:?}\"").unwrap();
+    }
+    line.push_str("],\"apps\":[");
+    for (i, (_, s)) in stats.iter().enumerate().take(2) {
+        if i > 0 {
+            line.push(',');
+        }
+        write!(
+            line,
+            "{{\"warp_insts\":{},\"thread_insts\":{},\"mem_insts\":{},\
+             \"alu_insts\":{},\"l1_hits\":{},\"l1_misses\":{},\
+             \"dram_read_bytes\":{},\"dram_write_bytes\":{},\
+             \"l2_to_l1_bytes\":{},\"dram_row_hits\":{},\
+             \"dram_row_misses\":{},\"start_cycle\":{},\
+             \"finish_cycle\":{},\"blocks_done\":{}}}",
+            s.warp_insts,
+            s.thread_insts,
+            s.mem_insts,
+            s.alu_insts,
+            s.l1_hits,
+            s.l1_misses,
+            s.dram_read_bytes,
+            s.dram_write_bytes,
+            s.l2_to_l1_bytes,
+            s.dram_row_hits,
+            s.dram_row_misses,
+            s.start_cycle,
+            s.finish_cycle,
+            s.blocks_done,
+        )
+        .unwrap();
+    }
+    line.push_str("]}");
+    eprintln!("[shard_smoke] shards={} ({} effective)", shards, gpu.shards());
+    println!("stats: {line}");
+}

@@ -17,7 +17,9 @@
 //! never at wall-clock or iteration-count boundaries.
 
 use crate::config::GpuConfig;
+use crate::memsys::MemSys;
 use crate::rng::SimRng;
+use crate::shard::SmSlab;
 
 /// One kind of device degradation (or recovery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,53 @@ pub enum FaultKind {
         /// New per-slice MSHR capacity.
         cap: u32,
     },
+}
+
+/// Applies one fault event to the device state, whichever layout the
+/// SMs currently live in (a drain-based `DisableSm` lands in whichever
+/// shard owns the SM). Returns the id of a re-enabled SM that still
+/// needs handing to an application (the device does that — app state
+/// is not visible here).
+pub(crate) fn apply_fault_event(
+    ev: FaultEvent,
+    sms: &mut impl SmSlab,
+    enabled: &mut [bool],
+    memsys: &mut MemSys,
+) -> Option<u32> {
+    match ev.kind {
+        FaultKind::DisableSm { sm } => {
+            let idx = sm as usize;
+            enabled[idx] = false;
+            let s = sms.get_mut(idx);
+            // Cancel any in-flight handoff; the SM drains and is
+            // released (phase 4) once its resident blocks finish.
+            s.pending_owner = None;
+            if s.owner.is_some() && s.is_empty() {
+                s.request_handoff(None);
+            }
+            None
+        }
+        FaultKind::EnableSm { sm } => {
+            let idx = sm as usize;
+            if !enabled[idx] {
+                enabled[idx] = true;
+                Some(sm)
+            } else {
+                None
+            }
+        }
+        FaultKind::MemLatency {
+            extra_l2,
+            extra_dram,
+        } => {
+            memsys.set_extra_latency(extra_l2, extra_dram);
+            None
+        }
+        FaultKind::MshrCap { cap } => {
+            memsys.set_mshr_cap(cap);
+            None
+        }
+    }
 }
 
 /// A [`FaultKind`] scheduled at an absolute device cycle.

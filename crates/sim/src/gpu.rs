@@ -28,12 +28,16 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::config::GpuConfig;
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fault::{apply_fault_event, FaultEvent, FaultPlan};
 use crate::kernel::{AppId, KernelDesc};
 use crate::memsys::{Completion, MemSys};
+use crate::shard::{
+    worker_loop, CellsView, RunSnapshot, SeqExec, ShardCell, ShardCtl, ShardExec, ShardPlan,
+    ShutdownGuard, SmSlab, SnapApp, ThreadedExec,
+};
 use crate::sm::Sm;
 use crate::stats::{DiagSnapshot, SimStats, SmDiag};
 use crate::trace_fmt::{KernelTrace, TraceHook, TraceRecorder};
@@ -205,6 +209,16 @@ pub struct Gpu {
     /// Phase-cycle counters, `None` (the default) unless profiling was
     /// requested — the hot loop then pays a single branch per step.
     profiler: Option<PhaseCycles>,
+    /// SM shard count for `run`/`run_for` (1 = unsharded reference
+    /// stepping; DESIGN.md §12). A runtime knob like [`StepMode`] —
+    /// results are bit-identical at any value, so sweep-cache
+    /// fingerprints are unaffected.
+    shards: u32,
+    /// Threads driving the sharded parallel phase (1 = the sequential
+    /// executor, which still gets the elision speedup).
+    shard_workers: u32,
+    /// Scratch for the sharded merge phase's pending-SM rotation.
+    pend_buf: Vec<u32>,
 }
 
 impl Gpu {
@@ -230,6 +244,9 @@ impl Gpu {
             fault_buf: Vec::new(),
             sm_enabled: vec![true; cfg.num_sms as usize],
             profiler: None,
+            shards: 1,
+            shard_workers: 1,
+            pend_buf: Vec::new(),
             cfg,
         })
     }
@@ -261,6 +278,51 @@ impl Gpu {
     /// Phase counters collected so far, `None` when profiling is off.
     pub fn phase_cycles(&self) -> Option<PhaseCycles> {
         self.profiler
+    }
+
+    /// Selects the SM shard count for `run`/`run_for` (clamped to
+    /// `[1, num_sms]`; 1, the default, is the unsharded reference
+    /// step). Sharding is a runtime knob like [`StepMode`]: statistics,
+    /// traces and SMRA decisions are bit-identical at every value
+    /// (pinned by the `shard_equivalence` suite), so sweep-cache keys
+    /// are unaffected. Recording apps force the unsharded path — the
+    /// recorder's warp-group interning is first-touch order-sensitive.
+    pub fn set_shards(&mut self, k: u32) {
+        self.shards = k.clamp(1, (self.sms.len() as u32).max(1));
+    }
+
+    /// SM shard count in force (1 = unsharded).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Sets how many threads drive the sharded parallel phase (default
+    /// 1: the sequential executor, which still carries the idle-SM
+    /// elision speedup). Values above the shard count are clamped at
+    /// run time; thread count can never affect results.
+    pub fn set_shard_workers(&mut self, w: u32) {
+        self.shard_workers = w.max(1);
+    }
+
+    /// Threads driving the sharded parallel phase.
+    pub fn shard_workers(&self) -> u32 {
+        self.shard_workers
+    }
+
+    /// The SM partition `run`/`run_for` would use right now.
+    pub fn shard_plan(&self) -> ShardPlan {
+        ShardPlan::new(self.sms.len() as u32, self.shards)
+    }
+
+    /// Whether the next `run`/`run_for` takes the sharded path.
+    fn use_sharded(&self) -> bool {
+        self.shards > 1
+            && self.sms.len() >= 2
+            && !self.apps.is_empty()
+            && !self
+                .apps
+                .iter()
+                .any(|a| matches!(a.trace, AppTrace::Record(_)))
     }
 
     /// Classifies a stall (no SM can issue) at the current device state.
@@ -564,17 +626,7 @@ impl Gpu {
     /// excluded — an SM draining out of service no longer counts toward
     /// anyone's share.
     pub fn sm_count(&self, app: AppId) -> u32 {
-        self.sms
-            .iter()
-            .enumerate()
-            .filter(|(i, sm)| {
-                self.sm_enabled[*i]
-                    && match sm.pending_owner {
-                        Some(p) => p == app,
-                        None => sm.owner == Some(app),
-                    }
-            })
-            .count() as u32
+        sm_count_over(&self.sms, &self.sm_enabled, app)
     }
 
     /// Moves up to `n` SMs from `from` to `to` using drain-based
@@ -688,30 +740,19 @@ impl Gpu {
         // cycle: handoffs complete on drain (emptiness changes only at a
         // retirement) and app completion tracks `blocks_done`.
         if any_retired {
-            // 4. Complete drained handoffs; release drained out-of-
-            // service SMs (their owner loses them the moment the last
-            // resident block retires).
-            for (i, sm) in self.sms.iter_mut().enumerate() {
-                if self.sm_enabled[i] {
-                    sm.try_complete_handoff();
-                } else if sm.owner.is_some() && sm.is_empty() {
-                    sm.request_handoff(None);
-                }
-            }
-
-            // 5. Detect app completion.
-            for a in 0..self.apps.len() {
-                let app = &mut self.apps[a];
-                if !app.finished && app.started && app.blocks_done == app.kernel.grid_blocks {
-                    app.finished = true;
-                    let id = AppId(a as u16);
-                    self.stats.app_mut(id).finish_cycle = now;
-                    self.stats.app_mut(id).blocks_done = app.blocks_done;
-                    if self.cfg.reassign_on_finish {
-                        self.reassign_sms_of(id);
-                    }
-                }
-            }
+            // 4. Complete drained handoffs; 5. detect app completion
+            // (shared with the sharded step — see the slab free
+            // functions below).
+            complete_handoffs(&mut self.sms, &self.sm_enabled);
+            finish_apps(
+                &mut self.apps,
+                &mut self.stats,
+                now,
+                self.cfg.reassign_on_finish,
+                &mut self.sms,
+                &self.sm_enabled,
+                &mut self.reassign_buf,
+            );
         }
 
         if self.profiler.is_some() {
@@ -725,52 +766,6 @@ impl Gpu {
 
         self.cycle = now + 1;
         self.stats.cycles = self.cycle;
-    }
-
-    /// Hands the SMs of a finished app to the running apps, balancing
-    /// toward the app with the fewest effective SMs.
-    fn reassign_sms_of(&mut self, finished: AppId) {
-        self.reassign_buf.clear();
-        for i in 0..self.apps.len() {
-            if !self.apps[i].finished {
-                self.reassign_buf.push((AppId(i as u16), 0));
-            }
-        }
-        if self.reassign_buf.is_empty() {
-            return;
-        }
-        // Effective SM counts of the running apps, in one pass over the
-        // SMs (an SM counts toward its pending owner while draining;
-        // out-of-service SMs count toward no one).
-        for (i, sm) in self.sms.iter().enumerate() {
-            if !self.sm_enabled[i] {
-                continue;
-            }
-            let effective = sm.pending_owner.or(sm.owner);
-            if let Some(owner) = effective {
-                if let Some(entry) = self.reassign_buf.iter_mut().find(|(a, _)| *a == owner) {
-                    entry.1 += 1;
-                }
-            }
-        }
-        for (i, sm) in self.sms.iter_mut().enumerate() {
-            if !self.sm_enabled[i] {
-                continue;
-            }
-            let effectively_finished = match sm.pending_owner {
-                Some(p) => p == finished,
-                None => sm.owner == Some(finished),
-            };
-            if effectively_finished {
-                let (target, cnt) = self
-                    .reassign_buf
-                    .iter_mut()
-                    .min_by_key(|(_, c)| *c)
-                    .expect("running is non-empty");
-                sm.request_handoff(Some(*target));
-                *cnt += 1;
-            }
-        }
     }
 
     /// Applies every fault event due at or before `now`, in schedule
@@ -789,54 +784,11 @@ impl Gpu {
         }
         for i in 0..self.fault_buf.len() {
             let ev = self.fault_buf[i];
-            match ev.kind {
-                FaultKind::DisableSm { sm } => {
-                    let idx = sm as usize;
-                    self.sm_enabled[idx] = false;
-                    let s = &mut self.sms[idx];
-                    // Cancel any in-flight handoff; the SM drains and is
-                    // released (phase 4) once its resident blocks finish.
-                    s.pending_owner = None;
-                    if s.owner.is_some() && s.is_empty() {
-                        s.request_handoff(None);
-                    }
-                }
-                FaultKind::EnableSm { sm } => {
-                    let idx = sm as usize;
-                    if !self.sm_enabled[idx] {
-                        self.sm_enabled[idx] = true;
-                        self.hand_recovered_sm(sm);
-                    }
-                }
-                FaultKind::MemLatency {
-                    extra_l2,
-                    extra_dram,
-                } => self.memsys.set_extra_latency(extra_l2, extra_dram),
-                FaultKind::MshrCap { cap } => self.memsys.set_mshr_cap(cap),
+            if let Some(sm) =
+                apply_fault_event(ev, &mut self.sms, &mut self.sm_enabled, &mut self.memsys)
+            {
+                hand_recovered_sm(&self.apps, &mut self.sms, &self.sm_enabled, sm);
             }
-        }
-    }
-
-    /// Hands a re-enabled SM to the running application with the fewest
-    /// effective SMs (deterministic tie-break: lowest app id).
-    fn hand_recovered_sm(&mut self, sm: u32) {
-        let mut best: Option<(u32, AppId)> = None;
-        for i in 0..self.apps.len() {
-            if self.apps[i].finished {
-                continue;
-            }
-            let id = AppId(i as u16);
-            let cnt = self.sm_count(id);
-            let better = match best {
-                None => true,
-                Some((c, _)) => cnt < c,
-            };
-            if better {
-                best = Some((cnt, id));
-            }
-        }
-        if let Some((_, id)) = best {
-            self.sms[sm as usize].request_handoff(Some(id));
         }
     }
 
@@ -882,6 +834,13 @@ impl Gpu {
     pub fn run(&mut self, max_cycles: u64) -> Result<(), SimError> {
         if self.apps.is_empty() {
             return Ok(());
+        }
+        if self.use_sharded() {
+            return match self.run_sharded(DriveMode::Run { max_cycles }) {
+                DriveOutcome::Done | DriveOutcome::WindowEnd => Ok(()),
+                DriveOutcome::Timeout => Err(self.timeout_error()),
+                DriveOutcome::Deadlock => Err(self.deadlock_error()),
+            };
         }
         while !self.all_done() {
             if self.cycle >= max_cycles {
@@ -954,6 +913,10 @@ impl Gpu {
     /// the same sampling cycles in either [`StepMode`].
     pub fn run_for(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
+        if self.use_sharded() {
+            let _ = self.run_sharded(DriveMode::RunFor { end });
+            return;
+        }
         while self.cycle < end && !self.all_done() {
             self.step();
             if self.step_mode != StepMode::EventHorizon
@@ -1007,6 +970,690 @@ impl Gpu {
     pub fn l2_hit_rate(&self) -> f64 {
         self.memsys.l2_hit_rate()
     }
+
+    // ------------------------------------------------------------------
+    // Sharded stepping (DESIGN.md §12). The SMs are drained into
+    // per-shard cells for the duration of one `run`/`run_for` call;
+    // each cycle splits into a parallel SM-local phase and a serial
+    // merge phase that replays the reference rotation order, so the
+    // result is bit-identical to the unsharded step.
+    // ------------------------------------------------------------------
+
+    /// Snapshots the per-app launch state the parallel phase needs.
+    fn shard_snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            apps: self
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(i, a)| SnapApp {
+                    kernel: a.kernel.clone(),
+                    base: app_base(AppId(i as u16)),
+                    replay: match &a.trace {
+                        AppTrace::Replay(t) => Some(Arc::clone(t)),
+                        _ => None,
+                    },
+                })
+                .collect(),
+            cfg: self.cfg.clone(),
+        }
+    }
+
+    /// Drains `self.sms` into per-shard cells (restored by
+    /// [`Gpu::restore_cells`] at every exit, including errors).
+    fn take_cells(&mut self) -> Vec<ShardCell> {
+        let plan = self.shard_plan();
+        let mut rest = std::mem::take(&mut self.sms);
+        let mut cells = Vec::with_capacity(plan.shards as usize);
+        for (base, len) in plan.ranges() {
+            let tail = rest.split_off(len as usize);
+            cells.push(ShardCell::new(base, rest));
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+        cells
+    }
+
+    /// Reassembles `self.sms` from the cells and folds the deferred
+    /// per-app issue statistics into [`SimStats`].
+    fn restore_cells(&mut self, cells: Vec<ShardCell>) {
+        debug_assert!(self.sms.is_empty());
+        self.sms.reserve(self.cfg.num_sms as usize);
+        for cell in cells {
+            debug_assert!(cell.pending.is_empty());
+            debug_assert!(cell.retired.iter().all(|&r| r == 0));
+            self.sms.extend(cell.sms);
+            for (a, d) in cell.deltas.iter().enumerate() {
+                if !d.is_zero() {
+                    self.stats.app_mut(AppId(a as u16)).apply_issue_delta(d);
+                }
+            }
+        }
+    }
+
+    /// Runs the sharded drive loop to its outcome. Error values are
+    /// materialized by the caller *after* this returns, so diagnostics
+    /// see the restored device.
+    fn run_sharded(&mut self, mode: DriveMode) -> DriveOutcome {
+        let snap = self.shard_snapshot();
+        let cells = self.take_cells();
+        let workers = (self.shard_workers.max(1) as usize).min(cells.len());
+        let (cells, out) = if workers > 1 {
+            let mcells: Vec<Mutex<ShardCell>> = cells.into_iter().map(Mutex::new).collect();
+            let ctl = ShardCtl::default();
+            let out = std::thread::scope(|scope| {
+                let guard = ShutdownGuard(&ctl);
+                for j in 1..workers {
+                    let (mc, ct, sn) = (&mcells, &ctl, &snap);
+                    scope.spawn(move || worker_loop(j, workers, mc, ct, sn));
+                }
+                let mut exec = ThreadedExec {
+                    cells: &mcells,
+                    ctl: &ctl,
+                    threads: workers,
+                };
+                let out = self.drive(&mut exec, &snap, mode);
+                drop(guard);
+                out
+            });
+            let cells = mcells
+                .into_iter()
+                .map(|m| m.into_inner().unwrap())
+                .collect::<Vec<_>>();
+            (cells, out)
+        } else {
+            let mut cells = cells;
+            let mut exec = SeqExec { cells: &mut cells };
+            let out = self.drive(&mut exec, &snap, mode);
+            (cells, out)
+        };
+        self.restore_cells(cells);
+        out
+    }
+
+    /// The sharded mirror of the `run`/`run_for` loops: step, then
+    /// apply the same clock-jump rules, with quiescence and horizons
+    /// read from the cells' exact flag summaries.
+    fn drive(
+        &mut self,
+        exec: &mut impl ShardExec,
+        snap: &RunSnapshot,
+        mode: DriveMode,
+    ) -> DriveOutcome {
+        loop {
+            match mode {
+                DriveMode::Run { max_cycles } => {
+                    if self.all_done() {
+                        return DriveOutcome::Done;
+                    }
+                    if self.cycle >= max_cycles {
+                        return DriveOutcome::Timeout;
+                    }
+                }
+                DriveMode::RunFor { end } => {
+                    if self.cycle >= end || self.all_done() {
+                        return DriveOutcome::WindowEnd;
+                    }
+                }
+            }
+            let info = self.step_sharded(exec, snap);
+            match mode {
+                DriveMode::Run { max_cycles } => {
+                    if self.all_done() {
+                        return DriveOutcome::Done;
+                    }
+                    match self.step_mode {
+                        StepMode::Cycle => {
+                            if self.memsys.is_idle() && info.quiescent {
+                                let fault = self.fault_plan.as_ref().and_then(|p| p.next_cycle());
+                                let target = match (info.min_wake, fault) {
+                                    (Some(a), Some(b)) => Some(a.min(b)),
+                                    (a, b) => a.or(b),
+                                };
+                                match target {
+                                    Some(to) if to > self.cycle => {
+                                        if self.profiler.is_some() {
+                                            let phase = self.wait_phase_from(info.min_wake);
+                                            self.bump_phase(phase, to - self.cycle);
+                                        }
+                                        self.cycle = to;
+                                        self.stats.cycles = to;
+                                    }
+                                    Some(_) => {}
+                                    None => return DriveOutcome::Deadlock,
+                                }
+                            }
+                        }
+                        StepMode::EventHorizon => {
+                            if info.quiescent {
+                                match self.horizon_from(info.min_wake) {
+                                    Some(h) if h > self.cycle => {
+                                        let to = h.min(max_cycles);
+                                        if self.profiler.is_some() {
+                                            let phase = self.wait_phase_from(info.min_wake);
+                                            self.bump_phase(phase, to - self.cycle);
+                                        }
+                                        self.cycle = to;
+                                        self.stats.cycles = to;
+                                    }
+                                    Some(_) => {}
+                                    None => return DriveOutcome::Deadlock,
+                                }
+                            }
+                        }
+                    }
+                }
+                DriveMode::RunFor { end } => {
+                    if self.step_mode != StepMode::EventHorizon
+                        || self.cycle >= end
+                        || self.all_done()
+                        || !info.quiescent
+                    {
+                        continue;
+                    }
+                    match self.horizon_from(info.min_wake) {
+                        Some(h) if h > self.cycle => {
+                            let to = h.min(end);
+                            if self.profiler.is_some() {
+                                let phase = if h > end {
+                                    Phase::Smra
+                                } else {
+                                    self.wait_phase_from(info.min_wake)
+                                };
+                                self.bump_phase(phase, to - self.cycle);
+                            }
+                            self.cycle = to;
+                            self.stats.cycles = to;
+                        }
+                        Some(_) => {}
+                        None => {
+                            if self.profiler.is_some() {
+                                self.bump_phase(Phase::Smra, end - self.cycle);
+                            }
+                            self.cycle = end;
+                            self.stats.cycles = end;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Gpu::wait_phase`] with the SM-side scan replaced by the cells'
+    /// wake summary (`min_wake` is exact by the flag invariants).
+    fn wait_phase_from(&self, min_wake: Option<u64>) -> Phase {
+        if !self.memsys.is_idle() {
+            if self.memsys.any_dram_queued() {
+                Phase::Dram
+            } else {
+                Phase::L2
+            }
+        } else if min_wake.is_some() {
+            Phase::L1
+        } else {
+            Phase::Idle
+        }
+    }
+
+    /// [`Gpu::next_horizon`] with the SM-side scan replaced by the
+    /// cells' wake summary.
+    fn horizon_from(&self, min_wake: Option<u64>) -> Option<u64> {
+        let mem_ev = self.memsys.next_event(self.cycle);
+        let fault_ev = self.fault_plan.as_ref().and_then(|p| p.next_cycle());
+        [min_wake, mem_ev, fault_ev].into_iter().flatten().min()
+    }
+
+    /// One sharded device cycle; mirrors [`Gpu::step`] phase for phase.
+    fn step_sharded(&mut self, exec: &mut impl ShardExec, snap: &RunSnapshot) -> StepInfo {
+        let now = self.cycle;
+
+        // 0. Faults (serial; rare, so the cell round-trip is off the
+        // common path).
+        if self.fault_plan.is_some() {
+            self.fault_buf.clear();
+            if let Some(plan) = self.fault_plan.as_mut() {
+                let due = plan.due(now);
+                self.fault_buf.extend_from_slice(due);
+            }
+            if !self.fault_buf.is_empty() {
+                let events = std::mem::take(&mut self.fault_buf);
+                exec.with_cells(|cells| {
+                    let mut view = CellsView::new(cells);
+                    for &ev in &events {
+                        if let Some(sm) = apply_fault_event(
+                            ev,
+                            &mut view,
+                            &mut self.sm_enabled,
+                            &mut self.memsys,
+                        ) {
+                            hand_recovered_sm(&self.apps, &mut view, &self.sm_enabled, sm);
+                        }
+                    }
+                });
+                self.fault_buf = events;
+            }
+        }
+
+        // 1 + issue-A. Deliver completions and run the SM-local half of
+        // the issue path, shard-parallel. Ordering note: the memory
+        // tick below commutes with this phase — the tick never touches
+        // SM state and phase A never touches the memory system (its
+        // coupled accesses suspend before the admission check).
+        self.comp_buf.clear();
+        self.memsys.drain_completions(now, &mut self.comp_buf);
+        exec.phase_a(now, &self.comp_buf, snap);
+
+        // 2. Memory system.
+        self.memsys.tick(now, &mut self.stats);
+
+        // 3-5. Serial merge: resolve suspended accesses and dispatch in
+        // canonical rotation order against the live memory system, then
+        // fold retirements and run handoff/finish detection.
+        let mut any_issued = false;
+        let mut info = StepInfo {
+            quiescent: false,
+            min_wake: None,
+        };
+        exec.with_cells(|cells| {
+            let mut any_retired = self.sharded_phase_b(now, cells, snap);
+            for cell in cells.iter_mut() {
+                any_issued |= cell.any_issued;
+                for a in 0..self.apps.len() {
+                    let r = cell.retired[a];
+                    if r > 0 {
+                        cell.retired[a] = 0;
+                        self.apps[a].blocks_done += r;
+                        any_retired = true;
+                    }
+                }
+            }
+            if any_retired {
+                let mut view = CellsView::new(cells);
+                complete_handoffs(&mut view, &self.sm_enabled);
+                finish_apps(
+                    &mut self.apps,
+                    &mut self.stats,
+                    now,
+                    self.cfg.reassign_on_finish,
+                    &mut view,
+                    &self.sm_enabled,
+                    &mut self.reassign_buf,
+                );
+            }
+            info = self.sharded_quiescence(cells);
+        });
+
+        if self.profiler.is_some() {
+            let phase = if any_issued {
+                Phase::Issue
+            } else {
+                self.wait_phase_from(info.min_wake)
+            };
+            self.bump_phase(phase, 1);
+        }
+
+        self.cycle = now + 1;
+        self.stats.cycles = self.cycle;
+        info
+    }
+
+    /// The serial merge phase: replays the reference step's rotation
+    /// (`idx = (k + now) % n`) over exactly the SMs that still need the
+    /// shared state this cycle — every SM while blocks remain to
+    /// dispatch, only the suspended-access SMs afterwards. Returns
+    /// whether any block retired here.
+    fn sharded_phase_b(
+        &mut self,
+        now: u64,
+        cells: &mut [&mut ShardCell],
+        snap: &RunSnapshot,
+    ) -> bool {
+        let n: usize = cells.iter().map(|c| c.sms.len()).sum();
+        let chunk = cells.first().map_or(1, |c| c.sms.len().max(1));
+        let mut any_retired = false;
+
+        let dispatch_era = self
+            .apps
+            .iter()
+            .any(|a| a.next_block < a.kernel.grid_blocks);
+        if dispatch_era {
+            // Blocks remain: full rotation, exactly the reference loop
+            // with the SM-local issue half already done in phase A.
+            for k in 0..n {
+                let idx = (k + now as usize) % n;
+                let cell = &mut *cells[idx / chunk];
+                let local = idx % chunk;
+                let mut touched = false;
+                if cell.sms[local].has_pending() {
+                    any_retired |= self.resolve_sm(now, cell, local, snap);
+                    touched = true;
+                }
+                let enabled = self.sm_enabled[idx];
+                let sm = &mut cell.sms[local];
+                if let Some(owner) = sm.owner {
+                    let app = &mut self.apps[usize::from(owner.0)];
+                    if enabled
+                        && app.next_block < app.kernel.grid_blocks
+                        && sm.pending_owner.is_none()
+                        && sm.can_take_block(&app.kernel, &self.cfg)
+                    {
+                        sm.dispatch_block(&app.kernel, app.next_block);
+                        app.next_block += 1;
+                        if !app.started {
+                            app.started = true;
+                            self.stats.app_mut(owner).start_cycle = now;
+                        }
+                        touched = true;
+                    }
+                }
+                if touched {
+                    cell.refresh(local);
+                }
+            }
+        } else {
+            // Post-dispatch: only suspended accesses touch shared
+            // state. Cell pending lists are ascending and cells are in
+            // id order, so their concatenation is globally ascending;
+            // rotate it to start at `now % n`.
+            let mut pend = std::mem::take(&mut self.pend_buf);
+            pend.clear();
+            for cell in cells.iter() {
+                pend.extend_from_slice(&cell.pending);
+            }
+            if !pend.is_empty() {
+                let r = (now % n as u64) as u32;
+                let split = pend.partition_point(|&id| id < r);
+                for i in (split..pend.len()).chain(0..split) {
+                    let idx = pend[i] as usize;
+                    let cell = &mut *cells[idx / chunk];
+                    any_retired |= self.resolve_sm(now, cell, idx % chunk, snap);
+                }
+            }
+            self.pend_buf = pend;
+        }
+        for cell in cells.iter_mut() {
+            cell.pending.clear();
+        }
+        any_retired
+    }
+
+    /// Finishes one SM's suspended access at its rotation turn:
+    /// admission check, allocation, request pushes, and the remainder
+    /// of its issue budget — reference semantics against the live
+    /// memory system.
+    fn resolve_sm(
+        &mut self,
+        now: u64,
+        cell: &mut ShardCell,
+        local: usize,
+        snap: &RunSnapshot,
+    ) -> bool {
+        let sm = &mut cell.sms[local];
+        let owner = sm.owner.expect("suspended SM has an owner");
+        let sa = &snap.apps[usize::from(owner.0)];
+        let (retired, budget) = sm.resolve_pending(
+            now,
+            &sa.kernel,
+            owner,
+            &snap.cfg,
+            &mut self.memsys,
+            &mut self.stats,
+        );
+        let mut total = retired;
+        if budget > 0 {
+            let mut hook = match &sa.replay {
+                Some(t) => TraceHook::Replay(t),
+                None => TraceHook::None,
+            };
+            total += sm.issue_more(
+                budget,
+                now,
+                &sa.kernel,
+                owner,
+                sa.base,
+                &snap.cfg,
+                &mut self.memsys,
+                &mut self.stats,
+                &mut hook,
+            );
+        }
+        if total > 0 {
+            self.apps[usize::from(owner.0)].blocks_done += total;
+        }
+        cell.refresh(local);
+        total > 0
+    }
+
+    /// End-of-step quiescence/horizon summary over the cells' exact
+    /// flags — bit-equal to [`Gpu::quiescent_now`] plus the SM-wake
+    /// scan, at a fraction of the cost.
+    fn sharded_quiescence(&self, cells: &mut [&mut ShardCell]) -> StepInfo {
+        let mut any_ready = false;
+        for cell in cells.iter() {
+            any_ready |= cell.ready_count > 0;
+        }
+        if any_ready && self.profiler.is_none() {
+            // Not quiescent; the wake scan would go unread.
+            return StepInfo {
+                quiescent: false,
+                min_wake: None,
+            };
+        }
+        let mut min_wake = u64::MAX;
+        for cell in cells.iter() {
+            min_wake = min_wake.min(cell.wake_min);
+        }
+        let quiescent = !any_ready && !self.sharded_dispatch_possible(cells);
+        StepInfo {
+            quiescent,
+            min_wake: (min_wake != u64::MAX).then_some(min_wake),
+        }
+    }
+
+    /// [`Gpu::dispatch_possible`] over the cells, with the post-
+    /// dispatch early-out: once every app has dispatched its whole
+    /// grid, the reference scan is false by construction.
+    fn sharded_dispatch_possible(&self, cells: &[&mut ShardCell]) -> bool {
+        if !self
+            .apps
+            .iter()
+            .any(|a| a.next_block < a.kernel.grid_blocks)
+        {
+            return false;
+        }
+        for cell in cells {
+            for (i, sm) in cell.sms.iter().enumerate() {
+                let gi = cell.base as usize + i;
+                if self.sm_enabled[gi]
+                    && sm.owner.is_some_and(|o| {
+                        let app = &self.apps[usize::from(o.0)];
+                        app.next_block < app.kernel.grid_blocks
+                            && sm.pending_owner.is_none()
+                            && sm.can_take_block(&app.kernel, &self.cfg)
+                    })
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// How a sharded drive loop advances the clock (mirrors the two public
+/// entry points).
+#[derive(Debug, Clone, Copy)]
+enum DriveMode {
+    /// [`Gpu::run`]: to completion, with a cycle budget.
+    Run {
+        /// The budget.
+        max_cycles: u64,
+    },
+    /// [`Gpu::run_for`]: to a window barrier.
+    RunFor {
+        /// Absolute end cycle of the window.
+        end: u64,
+    },
+}
+
+/// Why a sharded drive loop stopped. Errors carry no payload here —
+/// the caller materializes [`SimError`] values after the SMs are
+/// restored, so diagnostics see the whole device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveOutcome {
+    Done,
+    Timeout,
+    Deadlock,
+    WindowEnd,
+}
+
+/// Post-step summary handed from the serial phase to the drive loop.
+#[derive(Debug, Clone, Copy)]
+struct StepInfo {
+    /// [`Gpu::quiescent_now`] equivalent.
+    quiescent: bool,
+    /// Earliest SM sleeper wake-up (exact when read; `None` when the
+    /// step was not quiescent and profiling is off — then unused).
+    min_wake: Option<u64>,
+}
+
+/// Phase 4 of the step, shared by both layouts: complete drained
+/// handoffs; release drained out-of-service SMs (their owner loses
+/// them the moment the last resident block retires).
+fn complete_handoffs(sms: &mut impl SmSlab, enabled: &[bool]) {
+    for (i, &en) in enabled.iter().enumerate().take(sms.len()) {
+        let sm = sms.get_mut(i);
+        if en {
+            sm.try_complete_handoff();
+        } else if sm.owner.is_some() && sm.is_empty() {
+            sm.request_handoff(None);
+        }
+    }
+}
+
+/// Phase 5 of the step, shared by both layouts: detect app completion
+/// and (optionally) hand a finished app's SMs to the running apps.
+fn finish_apps(
+    apps: &mut [AppRuntime],
+    stats: &mut SimStats,
+    now: u64,
+    reassign_on_finish: bool,
+    sms: &mut impl SmSlab,
+    enabled: &[bool],
+    reassign_buf: &mut Vec<(AppId, u32)>,
+) {
+    for a in 0..apps.len() {
+        {
+            let app = &apps[a];
+            if app.finished || !app.started || app.blocks_done != app.kernel.grid_blocks {
+                continue;
+            }
+        }
+        apps[a].finished = true;
+        let id = AppId(a as u16);
+        stats.app_mut(id).finish_cycle = now;
+        stats.app_mut(id).blocks_done = apps[a].blocks_done;
+        if reassign_on_finish {
+            reassign_sms_of(apps, sms, enabled, reassign_buf, id);
+        }
+    }
+}
+
+/// Hands the SMs of a finished app to the running apps, balancing
+/// toward the app with the fewest effective SMs.
+fn reassign_sms_of(
+    apps: &[AppRuntime],
+    sms: &mut impl SmSlab,
+    enabled: &[bool],
+    buf: &mut Vec<(AppId, u32)>,
+    finished: AppId,
+) {
+    buf.clear();
+    for (i, app) in apps.iter().enumerate() {
+        if !app.finished {
+            buf.push((AppId(i as u16), 0));
+        }
+    }
+    if buf.is_empty() {
+        return;
+    }
+    // Effective SM counts of the running apps, in one pass over the
+    // SMs (an SM counts toward its pending owner while draining;
+    // out-of-service SMs count toward no one).
+    for (i, &en) in enabled.iter().enumerate().take(sms.len()) {
+        if !en {
+            continue;
+        }
+        let sm = sms.get(i);
+        let effective = sm.pending_owner.or(sm.owner);
+        if let Some(owner) = effective {
+            if let Some(entry) = buf.iter_mut().find(|(a, _)| *a == owner) {
+                entry.1 += 1;
+            }
+        }
+    }
+    for (i, &en) in enabled.iter().enumerate().take(sms.len()) {
+        if !en {
+            continue;
+        }
+        let sm = sms.get_mut(i);
+        let effectively_finished = match sm.pending_owner {
+            Some(p) => p == finished,
+            None => sm.owner == Some(finished),
+        };
+        if effectively_finished {
+            let (target, cnt) = buf
+                .iter_mut()
+                .min_by_key(|(_, c)| *c)
+                .expect("running is non-empty");
+            sm.request_handoff(Some(*target));
+            *cnt += 1;
+        }
+    }
+}
+
+/// Hands a re-enabled SM to the running application with the fewest
+/// effective SMs (deterministic tie-break: lowest app id). Shared by
+/// both layouts.
+fn hand_recovered_sm(apps: &[AppRuntime], sms: &mut impl SmSlab, enabled: &[bool], sm: u32) {
+    let mut best: Option<(u32, AppId)> = None;
+    for (i, app) in apps.iter().enumerate() {
+        if app.finished {
+            continue;
+        }
+        let id = AppId(i as u16);
+        let cnt = sm_count_over(sms, enabled, id);
+        let better = match best {
+            None => true,
+            Some((c, _)) => cnt < c,
+        };
+        if better {
+            best = Some((cnt, id));
+        }
+    }
+    if let Some((_, id)) = best {
+        sms.get_mut(sm as usize).request_handoff(Some(id));
+    }
+}
+
+/// Effective SM count for `app` over any SM layout (see
+/// [`Gpu::sm_count`]).
+fn sm_count_over(sms: &impl SmSlab, enabled: &[bool], app: AppId) -> u32 {
+    let mut count = 0;
+    for (i, &en) in enabled.iter().enumerate().take(sms.len()) {
+        if !en {
+            continue;
+        }
+        let sm = sms.get(i);
+        let owned = match sm.pending_owner {
+            Some(p) => p == app,
+            None => sm.owner == Some(app),
+        };
+        if owned {
+            count += 1;
+        }
+    }
+    count
 }
 
 /// Base address for an app's address space (prevents cross-app cache

@@ -59,6 +59,7 @@ pub mod kernel;
 pub mod memsys;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod sm;
 pub mod stats;
 pub mod trace;
@@ -68,6 +69,7 @@ pub mod warp;
 pub use config::GpuConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use gpu::{Gpu, SimError, StepMode};
+pub use shard::ShardPlan;
 pub use kernel::{AccessPattern, AppId, KernelDesc, Op, PatternId, PatternKind};
 pub use trace_fmt::{KernelTrace, TraceBuilder, TraceFmtError, TraceRecorder};
 pub use stats::{AppStats, DiagSnapshot, SimStats, SliceDiag, SmDiag};

@@ -435,6 +435,15 @@ impl MemSys {
         self.slices[self.slice_of(addr)].input.len() < SLICE_QUEUE_DEPTH
     }
 
+    /// Whether every address in `addrs` targets a slice that can take
+    /// one more request this cycle. This is the whole-access admission
+    /// check the issue path applies before pushing any transaction of a
+    /// load or store (no partial issue); the sharded merge phase uses it
+    /// when resolving suspended accesses in canonical order.
+    pub fn can_accept_all(&self, addrs: &[u64]) -> bool {
+        addrs.iter().all(|&a| self.can_accept(a))
+    }
+
     /// Injects a transaction (already line-aligned). Call only after
     /// [`MemSys::can_accept`] returned `true` this cycle.
     pub fn push(&mut self, req: MemRequest) {

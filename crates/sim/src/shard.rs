@@ -1,0 +1,531 @@
+//! Sharded-SM stepping: data structures and the parallel phase of the
+//! sharded simulation loop (DESIGN.md §12).
+//!
+//! SMs interact only through the shared L2/DRAM [`MemSys`], so a cycle
+//! splits into an embarrassingly parallel half (scheduler picks,
+//! address generation, L1 probes, SM-local completions) and a serial
+//! merge half (memory-system admission, block dispatch, handoffs).
+//! [`ShardPlan`] partitions the SM ids into `k` contiguous shards;
+//! each shard's parallel half runs against a [`ShardCell`] that owns
+//! its SMs for the duration of a `run`/`run_for` call, and the serial
+//! half drains the suspended accesses in canonical rotation order so
+//! the merged request stream — and therefore every statistic — is
+//! bit-identical to the unsharded reference step.
+//!
+//! The cells also carry exact `ready`/`next-wake` summaries of their
+//! SMs, which is what makes sharding *faster* even on one thread: the
+//! per-cycle loop skips SMs that provably cannot act, and quiescence
+//! checks scan the flags instead of every SM.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::config::GpuConfig;
+use crate::gpu::MAX_APPS;
+use crate::kernel::KernelDesc;
+use crate::memsys::Completion;
+use crate::sm::Sm;
+use crate::stats::IssueDelta;
+use crate::trace_fmt::{KernelTrace, TraceHook};
+
+/// A fixed partition of the SM ids `0..num_sms` into `shards`
+/// contiguous, equally sized ranges (the last may be short). The
+/// partition — and the canonical merge order derived from it — depends
+/// only on `(num_sms, shards)`, never on thread timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of SMs being partitioned.
+    pub num_sms: u32,
+    /// Number of shards (at least 1, at most `num_sms`).
+    pub shards: u32,
+}
+
+impl ShardPlan {
+    /// Builds the plan, clamping `shards` into `[1, num_sms]`.
+    pub fn new(num_sms: u32, shards: u32) -> Self {
+        ShardPlan {
+            num_sms,
+            shards: shards.clamp(1, num_sms.max(1)),
+        }
+    }
+
+    /// SMs per shard (ceiling division; every shard except possibly the
+    /// last holds exactly this many).
+    pub fn chunk(&self) -> u32 {
+        self.num_sms.div_ceil(self.shards)
+    }
+
+    /// Shard owning SM `sm`.
+    pub fn shard_of(&self, sm: u32) -> u32 {
+        sm / self.chunk()
+    }
+
+    /// `(first_sm, len)` of each shard, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let chunk = self.chunk();
+        let n = self.num_sms;
+        (0..self.shards).filter_map(move |s| {
+            let base = s * chunk;
+            if base >= n {
+                None
+            } else {
+                Some((base, chunk.min(n - base)))
+            }
+        })
+    }
+}
+
+/// One application's immutable launch state, snapshotted for the
+/// duration of a sharded run so the parallel phase never borrows the
+/// device (kernels and replay traces are never mutated mid-run).
+#[derive(Debug)]
+pub(crate) struct SnapApp {
+    /// The launched kernel.
+    pub kernel: KernelDesc,
+    /// Its address-space base.
+    pub base: u64,
+    /// Replay trace, when the app replays a recording. Recording apps
+    /// force the unsharded path, so `Record` never appears here.
+    pub replay: Option<Arc<KernelTrace>>,
+}
+
+/// Everything the parallel phase needs, owned (no borrow of [`Gpu`]).
+#[derive(Debug)]
+pub(crate) struct RunSnapshot {
+    /// Per-app launch state, indexed by app id.
+    pub apps: Vec<SnapApp>,
+    /// Device configuration.
+    pub cfg: GpuConfig,
+}
+
+/// One shard's working state during a sharded run. Owns its SMs
+/// (drained out of `Gpu::sms` at run entry, restored at every exit)
+/// plus exact per-SM summaries:
+///
+/// - `ready_nz[i]` ⇔ `sms[i].has_ready_work()`
+/// - `wake_at[i]` == `sms[i].next_wake()` (`u64::MAX` = none)
+///
+/// Both invariants are maintained at every point an SM is touched, so
+/// quiescence and horizon computations over the flags are bit-equal to
+/// the reference scans over the SMs themselves.
+#[derive(Debug)]
+pub(crate) struct ShardCell {
+    /// Global id of `sms[0]`.
+    pub base: u32,
+    /// The shard's SMs, in global id order.
+    pub sms: Vec<Sm>,
+    /// Per-SM ready summary (see type docs).
+    pub ready_nz: Vec<bool>,
+    /// Per-SM next-wake summary (`u64::MAX` = no sleeper).
+    pub wake_at: Vec<u64>,
+    /// Number of `true` entries in `ready_nz` (exact at all times).
+    pub ready_count: u32,
+    /// `min(wake_at)` (exact at all times; `u64::MAX` = no sleeper).
+    ///
+    /// Exactness holds because outside [`phase_a_cell`]'s visit loop an
+    /// SM's `next_wake` can only *decrease* (the serial merge adds
+    /// sleepers, never pops them; `Sm::wake` runs only inside the visit
+    /// loop), so [`ShardCell::refresh`] can maintain the minimum with a
+    /// plain `min`, and the visit loop recomputes it from scratch
+    /// whenever it runs.
+    pub wake_min: u64,
+    /// Global ids (ascending) of SMs holding a suspended access that
+    /// the serial merge phase must resolve this cycle.
+    pub pending: Vec<u32>,
+    /// Per-app issue statistics accumulated by the parallel phase;
+    /// folded into [`SimStats`](crate::stats::SimStats) at run exit.
+    pub deltas: [IssueDelta; MAX_APPS],
+    /// Per-app blocks retired this cycle by the parallel phase
+    /// (completions and SM-local issue); folded every cycle.
+    pub retired: [u32; MAX_APPS],
+    /// Whether any SM of this shard had ready work this cycle (the
+    /// reference loop's `any_issued` contribution).
+    pub any_issued: bool,
+}
+
+impl ShardCell {
+    /// Wraps `sms` (whose first element has global id `base`),
+    /// computing the initial flag summaries.
+    pub fn new(base: u32, sms: Vec<Sm>) -> Self {
+        let ready_nz: Vec<bool> = sms.iter().map(Sm::has_ready_work).collect();
+        let wake_at: Vec<u64> = sms
+            .iter()
+            .map(|sm| sm.next_wake().unwrap_or(u64::MAX))
+            .collect();
+        let ready_count = ready_nz.iter().filter(|&&r| r).count() as u32;
+        let wake_min = wake_at.iter().copied().min().unwrap_or(u64::MAX);
+        ShardCell {
+            base,
+            sms,
+            ready_nz,
+            wake_at,
+            ready_count,
+            wake_min,
+            pending: Vec::new(),
+            deltas: [IssueDelta::default(); MAX_APPS],
+            retired: [0; MAX_APPS],
+            any_issued: false,
+        }
+    }
+
+    /// Re-derives both flag summaries for local SM `i` (call after any
+    /// operation that may change readiness or sleepers).
+    #[inline]
+    pub fn refresh(&mut self, i: usize) {
+        self.refresh_ready(i);
+        let wake = self.sms[i].next_wake().unwrap_or(u64::MAX);
+        self.wake_at[i] = wake;
+        self.wake_min = self.wake_min.min(wake);
+    }
+
+    /// Re-derives the ready summary (and count) for local SM `i`.
+    #[inline]
+    pub fn refresh_ready(&mut self, i: usize) {
+        let ready = self.sms[i].has_ready_work();
+        if ready != self.ready_nz[i] {
+            self.ready_nz[i] = ready;
+            if ready {
+                self.ready_count += 1;
+            } else {
+                self.ready_count -= 1;
+            }
+        }
+    }
+}
+
+/// The parallel half of one sharded cycle for one cell: applies this
+/// shard's memory completions, then visits exactly the SMs that can
+/// act (ready work, or a sleeper due at `now`) and runs the SM-local
+/// part of their issue path ([`Sm::issue_prepare`]). Suspended
+/// accesses are noted in `cell.pending` for the serial merge.
+///
+/// Touches nothing outside the cell and the snapshot, so cells step
+/// concurrently without synchronization and the result is independent
+/// of shard-visit order.
+pub(crate) fn phase_a_cell(cell: &mut ShardCell, now: u64, comps: &[Completion], snap: &RunSnapshot) {
+    cell.any_issued = false;
+    debug_assert!(cell.pending.is_empty(), "pending not drained last cycle");
+
+    // 1. This shard's completions, in drain order (per-SM order is all
+    // that matters: responses for different SMs never interact).
+    let lo = cell.base;
+    let hi = cell.base + cell.sms.len() as u32;
+    for c in comps {
+        if c.sm < lo || c.sm >= hi {
+            continue;
+        }
+        let local = (c.sm - lo) as usize;
+        let sm = &mut cell.sms[local];
+        let retired = sm.on_mem_response(c.warp_slot);
+        if retired > 0 {
+            let owner = sm.owner.expect("retiring SM has an owner");
+            cell.retired[usize::from(owner.0)] += retired;
+        }
+        // Responses only flip ready bits (never sleepers).
+        cell.refresh_ready(local);
+    }
+
+    // 2. Cell-level elision: when no SM is ready and no sleeper is due,
+    // every iteration of the visit loop below would `continue`, so skip
+    // the loop (and the summary recompute — nothing changed).
+    if cell.ready_count == 0 && cell.wake_min > now {
+        return;
+    }
+
+    // 3. Visit SMs that can possibly act. A skipped SM is exactly one
+    // the reference loop would have visited to no effect: `wake` pops
+    // nothing (no sleeper due) and `has_ready_work` is false. The loop
+    // reads every SM's post-visit wake, so it rebuilds the exact
+    // `wake_min` for free.
+    let mut wake_min = u64::MAX;
+    for i in 0..cell.sms.len() {
+        if !cell.ready_nz[i] && cell.wake_at[i] > now {
+            wake_min = wake_min.min(cell.wake_at[i]);
+            continue;
+        }
+        let sm = &mut cell.sms[i];
+        sm.wake(now);
+        if let Some(owner) = sm.owner {
+            if sm.has_ready_work() {
+                cell.any_issued = true;
+                let sa = &snap.apps[usize::from(owner.0)];
+                let mut hook = match &sa.replay {
+                    Some(trace) => TraceHook::Replay(trace),
+                    None => TraceHook::None,
+                };
+                let retired = sm.issue_prepare(
+                    now,
+                    &sa.kernel,
+                    sa.base,
+                    &snap.cfg,
+                    &mut hook,
+                    &mut cell.deltas[usize::from(owner.0)],
+                );
+                if retired > 0 {
+                    cell.retired[usize::from(owner.0)] += retired;
+                }
+                if sm.has_pending() {
+                    cell.pending.push(lo + i as u32);
+                }
+            }
+        }
+        cell.refresh(i);
+        wake_min = wake_min.min(cell.wake_at[i]);
+    }
+    cell.wake_min = wake_min;
+}
+
+/// Uniform indexed access to the SM set, whether it lives in
+/// `Gpu::sms` (the unsharded path) or is split across [`ShardCell`]s
+/// mid-run. Lets the serial phases — handoff completion, finish
+/// detection, SM reassignment, fault application — exist once and run
+/// bit-identically on both layouts.
+pub(crate) trait SmSlab {
+    /// Number of SMs.
+    fn len(&self) -> usize;
+    /// The SM with global id `i`.
+    fn get(&self, i: usize) -> &Sm;
+    /// The SM with global id `i`, mutably.
+    fn get_mut(&mut self, i: usize) -> &mut Sm;
+}
+
+impl SmSlab for Vec<Sm> {
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+    fn get(&self, i: usize) -> &Sm {
+        &self[i]
+    }
+    fn get_mut(&mut self, i: usize) -> &mut Sm {
+        &mut self[i]
+    }
+}
+
+/// [`SmSlab`] over the cells of a sharded run (global id `i` lives in
+/// cell `i / chunk` at local index `i % chunk`).
+pub(crate) struct CellsView<'a, 'b> {
+    cells: &'a mut [&'b mut ShardCell],
+    chunk: usize,
+    len: usize,
+}
+
+impl<'a, 'b> CellsView<'a, 'b> {
+    /// Builds the view; `cells` must be in shard order with every cell
+    /// except the last holding the same number of SMs.
+    pub fn new(cells: &'a mut [&'b mut ShardCell]) -> Self {
+        let chunk = cells.first().map_or(1, |c| c.sms.len().max(1));
+        let len = cells.iter().map(|c| c.sms.len()).sum();
+        CellsView { cells, chunk, len }
+    }
+}
+
+impl SmSlab for CellsView<'_, '_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> &Sm {
+        &self.cells[i / self.chunk].sms[i % self.chunk]
+    }
+    fn get_mut(&mut self, i: usize) -> &mut Sm {
+        &mut self.cells[i / self.chunk].sms[i % self.chunk]
+    }
+}
+
+/// How a sharded run executes its cells: sequentially in one thread,
+/// or with the parallel phase fanned out to worker threads. Both give
+/// the serial phases exclusive access to every cell in shard order, so
+/// results are identical by construction.
+pub(crate) trait ShardExec {
+    /// Runs [`phase_a_cell`] on every cell for cycle `now`.
+    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot);
+    /// Runs `f` with exclusive access to all cells, in shard order.
+    fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R;
+}
+
+/// Single-thread executor: the default, and the one that carries the
+/// serial-elision speedup (no synchronization at all).
+pub(crate) struct SeqExec<'a> {
+    /// The run's cells, in shard order.
+    pub cells: &'a mut [ShardCell],
+}
+
+impl ShardExec for SeqExec<'_> {
+    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot) {
+        for cell in self.cells.iter_mut() {
+            phase_a_cell(cell, now, comps, snap);
+        }
+    }
+
+    fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R {
+        let mut refs: Vec<&mut ShardCell> = self.cells.iter_mut().collect();
+        f(&mut refs)
+    }
+}
+
+/// Epoch-barrier shared between the coordinator and the phase-A
+/// workers of a threaded run.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCtl {
+    state: Mutex<CtlState>,
+    /// Signals a new epoch (or shutdown) to the workers.
+    go: Condvar,
+    /// Signals per-worker phase-A completion back to the coordinator.
+    done: Condvar,
+    /// The cycle's completions, published before each epoch.
+    comps: Mutex<Vec<Completion>>,
+}
+
+#[derive(Debug, Default)]
+struct CtlState {
+    epoch: u64,
+    now: u64,
+    finished: usize,
+    shutdown: bool,
+}
+
+impl ShardCtl {
+    /// Wakes every worker for one phase-A epoch at cycle `now` and
+    /// returns once all `workers` helpers reported done. The caller
+    /// must process the coordinator's own shards between publishing
+    /// and waiting — this method does both ends of the barrier.
+    fn run_epoch(
+        &self,
+        now: u64,
+        comps: &[Completion],
+        workers: usize,
+        coordinator: impl FnOnce(&[Completion]),
+    ) {
+        {
+            let mut c = self.comps.lock().unwrap();
+            c.clear();
+            c.extend_from_slice(comps);
+        }
+        {
+            let mut st = self.state.lock().unwrap();
+            st.now = now;
+            st.finished = 0;
+            st.epoch += 1;
+        }
+        self.go.notify_all();
+        coordinator(comps);
+        let mut st = self.state.lock().unwrap();
+        while st.finished < workers {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    /// Tells the workers to exit; called once the drive loop returns.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.go.notify_all();
+    }
+}
+
+/// Sends shutdown to the workers when dropped, so a panic unwinding
+/// out of the coordinator's drive loop cannot leave workers parked on
+/// the epoch condvar (which would hang the joining thread scope).
+pub(crate) struct ShutdownGuard<'a>(pub &'a ShardCtl);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Body of phase-A worker `id` (of `threads` total, coordinator
+/// included): waits for each epoch, steps the cells it owns
+/// (`shard % threads == id`), reports done. Returns on shutdown.
+pub(crate) fn worker_loop(
+    id: usize,
+    threads: usize,
+    cells: &[Mutex<ShardCell>],
+    ctl: &ShardCtl,
+    snap: &RunSnapshot,
+) {
+    let mut seen = 0u64;
+    loop {
+        let now = {
+            let mut st = ctl.state.lock().unwrap();
+            while st.epoch == seen && !st.shutdown {
+                st = ctl.go.wait(st).unwrap();
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.epoch;
+            st.now
+        };
+        {
+            let comps = ctl.comps.lock().unwrap();
+            for s in (id..cells.len()).step_by(threads) {
+                let mut cell = cells[s].lock().unwrap();
+                phase_a_cell(&mut cell, now, &comps, snap);
+            }
+        }
+        let mut st = ctl.state.lock().unwrap();
+        st.finished += 1;
+        drop(st);
+        ctl.done.notify_one();
+    }
+}
+
+/// Threaded executor: cells live behind (uncontended) mutexes; the
+/// coordinator steps shard stripe 0 itself while `threads - 1` helper
+/// workers step the rest, meeting at an epoch barrier. Serial phases
+/// lock every cell — exclusive by the barrier — and run unchanged, so
+/// thread count can never affect results.
+pub(crate) struct ThreadedExec<'a> {
+    /// The run's cells, in shard order.
+    pub cells: &'a [Mutex<ShardCell>],
+    /// The epoch barrier shared with the workers.
+    pub ctl: &'a ShardCtl,
+    /// Total participating threads (coordinator + helpers).
+    pub threads: usize,
+}
+
+impl ShardExec for ThreadedExec<'_> {
+    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot) {
+        self.ctl
+            .run_epoch(now, comps, self.threads - 1, |comps| {
+                for s in (0..self.cells.len()).step_by(self.threads) {
+                    let mut cell = self.cells[s].lock().unwrap();
+                    phase_a_cell(&mut cell, now, comps, snap);
+                }
+            });
+    }
+
+    fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R {
+        let mut guards: Vec<_> = self.cells.iter().map(|m| m.lock().unwrap()).collect();
+        let mut refs: Vec<&mut ShardCell> = guards.iter_mut().map(|g| &mut **g).collect();
+        f(&mut refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_every_sm_once() {
+        for n in [1u32, 2, 7, 8, 60, 61] {
+            for k in [1u32, 2, 3, 4, 7, 64] {
+                let plan = ShardPlan::new(n, k);
+                let mut seen = vec![false; n as usize];
+                for (s, (base, len)) in plan.ranges().enumerate() {
+                    for sm in base..base + len {
+                        assert!(!seen[sm as usize], "SM {sm} in two shards");
+                        seen[sm as usize] = true;
+                        assert_eq!(plan.shard_of(sm), s as u32);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} k={k} missed an SM");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_shards() {
+        assert_eq!(ShardPlan::new(8, 0).shards, 1);
+        assert_eq!(ShardPlan::new(8, 100).shards, 8);
+        assert_eq!(ShardPlan::new(60, 4).chunk(), 15);
+    }
+}

@@ -183,6 +183,49 @@ impl SimStats {
     }
 }
 
+/// Issue-path counter deltas accumulated shard-locally during sharded
+/// stepping (DESIGN.md §12) and folded into [`AppStats`] at run exit.
+///
+/// Only the counters the SM issue phase touches are here; everything
+/// the memory system accounts (DRAM bytes, row-buffer outcomes,
+/// L2→L1 bytes) is written directly by `MemSys::tick` on the
+/// coordinator and never needs deferral. All fields are additive, so
+/// the fold commutes with the direct writes of the serial phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssueDelta {
+    /// Warp-level instructions issued.
+    pub warp_insts: u64,
+    /// Thread-level instructions.
+    pub thread_insts: u64,
+    /// Memory warp instructions issued.
+    pub mem_insts: u64,
+    /// Arithmetic/SFU warp instructions issued.
+    pub alu_insts: u64,
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+}
+
+impl IssueDelta {
+    /// True when no counter moved (lets the fold skip untouched slots).
+    pub fn is_zero(&self) -> bool {
+        *self == IssueDelta::default()
+    }
+}
+
+impl AppStats {
+    /// Folds shard-local issue deltas into the cumulative counters.
+    pub fn apply_issue_delta(&mut self, d: &IssueDelta) {
+        self.warp_insts += d.warp_insts;
+        self.thread_insts += d.thread_insts;
+        self.mem_insts += d.mem_insts;
+        self.alu_insts += d.alu_insts;
+        self.l1_hits += d.l1_hits;
+        self.l1_misses += d.l1_misses;
+    }
+}
+
 /// Per-SM state captured in a [`DiagSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmDiag {

@@ -5,9 +5,17 @@
 # sweep and writes the results to BENCH_sim.json in the repo root:
 #
 #   {
-#     "benches":    { "<name>": {"mean_ns": N, "min_ns": N}, ... },
-#     "cold_sweep": { "name": "...", "wall_seconds": S }
+#     "benches":    { "<name>": {"mean_ns": N, "min_ns": N,
+#                                "sim_threads": K}, ... },
+#     "cold_sweep": { "name": "...", "wall_seconds": S, "sim_threads": K }
 #   }
+#
+# K records the GCS_SIM_THREADS setting the run was measured under
+# (default 1: unsharded reference stepping). Sharded stepping never
+# changes results, but it very much changes wall-clock, so deltas are
+# only meaningful between runs with the same setting — the gate below
+# skips any bench whose recorded sim_threads differs from the
+# baseline's instead of comparing apples to oranges.
 #
 # It then runs the online-scheduler micro-benchmarks (epoch planning
 # cost per policy, warm-cache event loop) the same way into
@@ -72,10 +80,17 @@ gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
     awk -v deftol="${BENCH_TOLERANCE:-1.6}" -v overrides="${BENCH_TOLERANCES:-}" \
         -v floor="${BENCH_NOISE_FLOOR_NS:-50}" '
         function tol_for(name) { return (name in tolmap) ? tolmap[name] : deftol }
-        function parse(line,   name, min) {
+        function parse(line,   name, min, st) {
             name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
             min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
-            return name SUBSEP min
+            # Entries written before sim_threads was recorded count as
+            # the default unsharded setting.
+            st = 1
+            if (line ~ /"sim_threads"/) {
+                st = line
+                sub(/.*"sim_threads": /, "", st); sub(/[^0-9].*/, "", st)
+            }
+            return name SUBSEP min SUBSEP st
         }
         BEGIN {
             n = split(overrides, pairs, ",")
@@ -84,8 +99,8 @@ gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
         }
         /"min_ns"/ {
             split(parse($0), kv, SUBSEP)
-            if (NR == FNR) { base[kv[1]] = kv[2]; next }
-            order[++m] = kv[1]; fresh[kv[1]] = kv[2]
+            if (NR == FNR) { base[kv[1]] = kv[2]; base_st[kv[1]] = kv[3]; next }
+            order[++m] = kv[1]; fresh[kv[1]] = kv[2]; fresh_st[kv[1]] = kv[3]
         }
         END {
             printf "  %-52s %14s %14s %8s  %s\n",
@@ -94,6 +109,12 @@ gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
                 name = order[i]; cur = fresh[name] + 0
                 if (!(name in base) || base[name] + 0 <= 0) {
                     printf "  %-52s %14s %14d %8s  new\n", name, "-", cur, "-"
+                    continue
+                }
+                if (base_st[name] != fresh_st[name]) {
+                    printf "  %-52s %14d %14d %8s  skip (sim_threads %d -> %d)\n",
+                           name, base[name], cur, "-",
+                           base_st[name], fresh_st[name]
                     continue
                 }
                 ref = base[name] + 0
@@ -139,15 +160,18 @@ GCS_CACHE=off GCS_SCALE=test ./target/release/fig41_two_app >/dev/null
 SWEEP_T1=$(date +%s.%N)
 SWEEP_SECS=$(awk -v a="$SWEEP_T0" -v b="$SWEEP_T1" 'BEGIN { printf "%.3f", b - a }')
 
-# Collect the BENCH_JSON lines into one document.
-awk -v sweep_secs="$SWEEP_SECS" '
+# Collect the BENCH_JSON lines into one document, stamping each entry
+# with the shard setting it was measured under.
+SIM_THREADS="${GCS_SIM_THREADS:-1}"
+awk -v sweep_secs="$SWEEP_SECS" -v sim_threads="$SIM_THREADS" '
     /^BENCH_JSON / {
         line = substr($0, 12)
         # {"name":"X","mean_ns":N,"min_ns":M}
         name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
         mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
         min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
-        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min "}"
+        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min \
+                ", \"sim_threads\": " sim_threads "}"
         entries = entries (entries == "" ? "" : ",\n") entry
     }
     END {
@@ -157,7 +181,8 @@ awk -v sweep_secs="$SWEEP_SECS" '
         print "  },"
         print "  \"cold_sweep\": {"
         print "    \"name\": \"fig41_two_app (GCS_SCALE=test, GCS_CACHE=off)\","
-        print "    \"wall_seconds\": " sweep_secs
+        print "    \"wall_seconds\": " sweep_secs ","
+        print "    \"sim_threads\": " sim_threads
         print "  }"
         print "}"
     }
@@ -182,13 +207,14 @@ echo
 echo "==> cargo bench --bench sched"
 cargo bench --bench sched | tee "$SCHED_RAW"
 
-awk '
+awk -v sim_threads="$SIM_THREADS" '
     /^BENCH_JSON / {
         line = substr($0, 12)
         name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
         mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
         min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
-        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min "}"
+        entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min \
+                ", \"sim_threads\": " sim_threads "}"
         entries = entries (entries == "" ? "" : ",\n") entry
     }
     END {

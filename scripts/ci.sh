@@ -32,6 +32,11 @@
 #                               cold cache, and asserts the replay report
 #                               line is byte-identical every time, then
 #                               exits
+#   scripts/ci.sh --shard-smoke sharded-stepping gate only: runs one fixed
+#                               SMRA co-run at SM shard counts 1/2/4
+#                               (shard_smoke binary) and asserts the
+#                               canonical JSON stats line is byte-identical
+#                               at every shard count, then exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -48,6 +53,7 @@ CHAOS_SMOKE=0
 SCHED_SMOKE=0
 PROFILE_SMOKE=0
 TRACE_SMOKE=0
+SHARD_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
@@ -56,7 +62,8 @@ for arg in "$@"; do
         --sched-smoke) SCHED_SMOKE=1 ;;
         --profile-smoke) PROFILE_SMOKE=1 ;;
         --trace-smoke) TRACE_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke]" >&2; exit 2 ;;
+        --shard-smoke) SHARD_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke] [--shard-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -119,6 +126,35 @@ if [ "$PROFILE_SMOKE" -eq 1 ]; then
     exit 0
 fi
 
+# Sharded-stepping gate: one fixed SMRA co-run per SM shard count; the
+# canonical JSON stats line must be byte-identical at every count
+# (sharding is a pure wall-clock optimization — DESIGN.md §12).
+shard_smoke() {
+    step "shard smoke (shard_smoke co-run, SM shards 1/2/4)"
+    cargo build --release --bin shard_smoke
+    local ref="" line shards
+    for shards in 1 2 4; do
+        line=$(./target/release/shard_smoke "$shards" | grep '^stats:') || {
+            echo "no stats line in shard_smoke output" >&2; exit 1;
+        }
+        echo "  shards=$shards  ${line:0:72}..."
+        if [ -z "$ref" ]; then
+            ref="$line"
+        elif [ "$line" != "$ref" ]; then
+            echo "canonical stats differ at $shards shards:" >&2
+            echo "  ref: $ref" >&2
+            echo "  got: $line" >&2
+            exit 1
+        fi
+    done
+    echo "shard smoke passed (stats byte-identical at 1/2/4 shards)"
+}
+
+if [ "$SHARD_SMOKE" -eq 1 ]; then
+    shard_smoke
+    exit 0
+fi
+
 if [ "$TRACE_SMOKE" -eq 1 ]; then
     step "trace smoke (trace_record + trace_replay round trip, GCS_SCALE=test)"
     cargo build --release --bin trace_record --bin trace_replay
@@ -172,6 +208,8 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "clippy not installed; skipping lint step"
 fi
+
+shard_smoke
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     step "bench smoke (scripts/bench.sh --smoke)"

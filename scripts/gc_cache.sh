@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Garbage-collects the sweep memo cache (results/cache/).
+#
+# Every cache entry is one small JSON file whose "key" field starts
+# with the engine's key-format version prefix (currently "v1|"). When
+# the simulator or workload models change in a result-affecting way,
+# the version prefix is bumped and every old entry becomes dead weight:
+# it can never hit again, but it still sits on disk. This script drops
+# exactly those entries — anything whose key version prefix no longer
+# matches the current format — plus anything unparsable enough to have
+# no key at all.
+#
+#   scripts/gc_cache.sh            dry run (default): report what would
+#                                  be reclaimed, delete nothing
+#   scripts/gc_cache.sh --apply    actually delete the stale entries
+#
+# Prints the number of entries and bytes reclaimed (or reclaimable).
+# The quarantine/ subdirectory (corrupt entries set aside by the
+# engine) is left alone — it exists for post-mortems, not reuse.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Current key-format version prefix; keep in sync with the "v1|..."
+# key builders in crates/core/src/sweep.rs.
+CURRENT_PREFIX='v1|'
+
+CACHE_DIR=results/cache
+APPLY=0
+for arg in "$@"; do
+    case "$arg" in
+        --apply) APPLY=1 ;;
+        --dry-run) APPLY=0 ;;
+        *) echo "usage: scripts/gc_cache.sh [--dry-run|--apply]" >&2; exit 2 ;;
+    esac
+done
+
+if [ ! -d "$CACHE_DIR" ]; then
+    echo "no cache directory ($CACHE_DIR); nothing to do"
+    exit 0
+fi
+
+kept=0
+stale=0
+stale_bytes=0
+for f in "$CACHE_DIR"/*.json; do
+    [ -e "$f" ] || continue
+    # Extract the key's leading "<version>|" from the entry; entries
+    # are single-line JSON written by the engine, so a head-limited
+    # sed keeps this cheap even if something huge snuck in.
+    prefix=$(head -c 512 "$f" | sed -n 's/^{"key":"\([^|"]*|\).*/\1/p')
+    if [ "$prefix" = "$CURRENT_PREFIX" ]; then
+        kept=$((kept + 1))
+        continue
+    fi
+    stale=$((stale + 1))
+    size=$(wc -c < "$f")
+    stale_bytes=$((stale_bytes + size))
+    if [ "$APPLY" -eq 1 ]; then
+        rm -- "$f"
+    fi
+done
+
+if [ "$APPLY" -eq 1 ]; then
+    echo "reclaimed $stale entries ($stale_bytes bytes); kept $kept current ($CURRENT_PREFIX...)"
+else
+    echo "would reclaim $stale entries ($stale_bytes bytes); kept $kept current ($CURRENT_PREFIX...)"
+    if [ "$stale" -gt 0 ]; then
+        echo "re-run with --apply to delete"
+    fi
+fi
