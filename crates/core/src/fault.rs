@@ -32,6 +32,17 @@ pub enum Degradation {
         /// File name of the quarantined entry.
         file: String,
     },
+    /// A scheduler under decision-latency pressure planned with a
+    /// weaker strategy than configured (the overload ladder: full
+    /// re-solve → cached-plan reuse → greedy grouping).
+    OverloadShed {
+        /// Strategy that was configured (e.g. `"ilp"`).
+        from: &'static str,
+        /// Strategy actually used (e.g. `"cached-plan"`, `"greedy"`).
+        to: &'static str,
+        /// Jobs pending when the shed was taken.
+        pending: usize,
+    },
 }
 
 impl std::fmt::Display for Degradation {
@@ -45,6 +56,9 @@ impl std::fmt::Display for Degradation {
             }
             Degradation::CacheQuarantined { file } => {
                 write!(f, "quarantined corrupt cache entry {file}")
+            }
+            Degradation::OverloadShed { from, to, pending } => {
+                write!(f, "overload: {from} planning shed to {to} with {pending} pending")
             }
         }
     }
@@ -142,5 +156,13 @@ mod tests {
             file: "ab12.json".into(),
         };
         assert!(q.to_string().contains("ab12.json"));
+        let o = Degradation::OverloadShed {
+            from: "ilp",
+            to: "greedy",
+            pending: 31,
+        };
+        assert!(o.to_string().contains("ilp"));
+        assert!(o.to_string().contains("greedy"));
+        assert!(o.to_string().contains("31 pending"));
     }
 }

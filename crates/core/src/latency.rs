@@ -1,0 +1,112 @@
+//! Wall-clock decision-latency accounting.
+//!
+//! The online scheduler's canonical reports are *simulated-time* and
+//! byte-stable; wall-clock measurements (how long a planning decision
+//! actually took on the host) must therefore live beside the report,
+//! not inside it. [`NanoStats`] is that sidecar: a nearest-rank
+//! percentile summary over nanosecond samples, the unit `scripts/
+//! bench.sh` already gates (`min_ns`), plus a derived decisions-per-
+//! second rate. The daemon collects one sample per [`Policy::plan`]
+//! call and the bench harness turns the summary into `BENCH_JSON`
+//! entries.
+//!
+//! [`Policy::plan`]: https://docs.rs/gcs-sched (gcs_sched::Policy::plan)
+
+/// Nearest-rank percentile summary of nanosecond samples.
+///
+/// Same estimator as the scheduler's cycle-domain `LatencyStats`
+/// (nearest-rank, never interpolated), applied to host wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NanoStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// 50th percentile in nanoseconds (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile in nanoseconds (nearest-rank).
+    pub p95_ns: u64,
+    /// 99th percentile in nanoseconds (nearest-rank).
+    pub p99_ns: u64,
+    /// Arithmetic mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl NanoStats {
+    /// Summarizes `samples_ns` (order irrelevant). All-zero for an
+    /// empty set.
+    pub fn from_samples(samples_ns: &[u64]) -> NanoStats {
+        if samples_ns.is_empty() {
+            return NanoStats::default();
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: u64| -> u64 {
+            let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+            sorted[rank - 1]
+        };
+        NanoStats {
+            count: sorted.len(),
+            p50_ns: pct(50),
+            p95_ns: pct(95),
+            p99_ns: pct(99),
+            mean_ns: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            max_ns: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Sustained decision rate implied by the mean latency
+    /// (1 s / mean). 0 when no samples were taken.
+    pub fn per_sec(&self) -> f64 {
+        if self.count == 0 || self.mean_ns <= 0.0 {
+            return 0.0;
+        }
+        1e9 / self.mean_ns
+    }
+}
+
+impl std::fmt::Display for NanoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={}ns p95={}ns p99={}ns mean={:.0}ns max={}ns",
+            self.count, self.p50_ns, self.p95_ns, self.p99_ns, self.mean_ns, self.max_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=200).collect();
+        let s = NanoStats::from_samples(&samples);
+        assert_eq!(s.count, 200);
+        assert_eq!(s.p50_ns, 100);
+        assert_eq!(s.p95_ns, 190);
+        assert_eq!(s.p99_ns, 198);
+        assert_eq!(s.max_ns, 200);
+        assert!((s.mean_ns - 100.5).abs() < 1e-12);
+        // Singleton sets report that sample everywhere.
+        let one = NanoStats::from_samples(&[7]);
+        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+        assert_eq!(NanoStats::from_samples(&[]), NanoStats::default());
+    }
+
+    #[test]
+    fn per_sec_inverts_the_mean() {
+        let s = NanoStats::from_samples(&[1_000; 10]);
+        assert!((s.per_sec() - 1e6).abs() < 1e-6);
+        assert_eq!(NanoStats::default().per_sec(), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = NanoStats::from_samples(&[10, 20, 30]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("p99=30ns"));
+    }
+}

@@ -53,6 +53,7 @@ pub mod classify;
 pub mod fault;
 pub mod ilp;
 pub mod interference;
+pub mod latency;
 pub mod pattern;
 pub mod profile;
 pub mod queues;
@@ -63,6 +64,7 @@ pub mod sweep;
 pub use classify::{classify, classify_suite, AppClass, Thresholds};
 pub use fault::{Degradation, RetryPolicy};
 pub use interference::InterferenceMatrix;
+pub use latency::NanoStats;
 pub use profile::AppProfile;
 pub use sweep::{SweepEngine, SweepStats, Workload};
 

@@ -820,7 +820,7 @@ impl SweepEngine {
         if let Some(dir) = &self.cache_dir {
             let _ = std::fs::create_dir_all(dir);
             let text = render_entry(key, &fields);
-            if std::fs::write(entry_path(dir, hash), text).is_err() {
+            if write_entry_atomic(dir, hash, &text).is_err() {
                 eprintln!("warning: could not persist sweep cache entry {hash:016x}");
             }
         }
@@ -1117,6 +1117,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn entry_path(dir: &Path, hash: u64) -> PathBuf {
     dir.join(format!("{hash:016x}.json"))
+}
+
+/// Crash-safe entry write: the text lands in a uniquely-named temp file
+/// in the same directory and only an atomic `rename` publishes it. A
+/// process killed mid-write leaves at worst a stale `.tmp-*` file that
+/// no lookup ever consults — never a truncated entry at the real path.
+fn write_entry_atomic(dir: &Path, hash: u64, text: &str) -> std::io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!("{hash:016x}.json.tmp-{}-{seq}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    let res = std::fs::rename(&tmp, entry_path(dir, hash));
+    if res.is_err() {
+        // Do not leave the orphan around to accumulate.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    res
 }
 
 fn render_entry(key: &str, fields: &[(String, u64)]) -> String {
@@ -1539,6 +1556,81 @@ mod tests {
         let rs = repaired.stats();
         assert_eq!(rs.jobs_cached, 1);
         assert_eq!(rs.jobs_quarantined, 0);
+    }
+
+    #[test]
+    fn old_style_truncated_entry_recovers_via_quarantine() {
+        // A pre-atomic-write cache could be killed mid-`fs::write`,
+        // leaving a truncated entry at the real path. That legacy damage
+        // must still recover through the quarantine path.
+        let tmp = TempCache::new("oldtrunc");
+        let warm = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        warm.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        let entry = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .map(|f| f.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .expect("one cache entry on disk");
+        let text = std::fs::read_to_string(&entry).unwrap();
+        // Simulate the old non-atomic write dying halfway through.
+        std::fs::write(&entry, &text[..text.len() / 2]).unwrap();
+
+        let cold = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        let p = cold.profile(&cfg(), Scale::TEST, Benchmark::Hs, 8).unwrap();
+        assert!(p.ipc > 0.0);
+        let s = cold.stats();
+        assert_eq!(s.jobs_quarantined, 1, "truncated entry must quarantine");
+        assert_eq!(s.jobs_simulated, 1, "and the job re-simulates");
+        // The quarantined bytes are the truncated ones, preserved.
+        let q = tmp.0.join("quarantine").join(entry.file_name().unwrap());
+        assert_eq!(std::fs::read_to_string(q).unwrap(), text[..text.len() / 2]);
+    }
+
+    #[test]
+    fn atomic_store_survives_simulated_interruption() {
+        // The new write path publishes via temp-file + rename: a process
+        // killed mid-write leaves only a `.tmp-*` orphan, never a
+        // truncated entry at the real path.
+        let tmp = TempCache::new("atomic");
+        let warm = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        warm.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+
+        // No temp residue after a successful store, and the entry parses.
+        let names: Vec<String> = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .map(|f| f.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.contains(".tmp-")),
+            "store must clean up temp files: {names:?}"
+        );
+        let entry = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .map(|f| f.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .expect("one cache entry on disk");
+        assert!(parse_entry(&std::fs::read_to_string(&entry).unwrap()).is_some());
+
+        // Simulate a kill mid-write of a *different* job: a truncated
+        // temp file beside the published entry. Lookups never consult
+        // it, so the warm entry still hits and nothing quarantines.
+        let good = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(tmp.0.join("deadbeefdeadbeef.json.tmp-1-0"), &good[..good.len() / 2])
+            .unwrap();
+        let cold = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        cold.profile(&cfg(), Scale::TEST, Benchmark::Lud, 8).unwrap();
+        let s = cold.stats();
+        assert_eq!(s.jobs_cached, 1, "orphan temp file must not shadow the entry");
+        assert_eq!(s.jobs_quarantined, 0, "orphan temp file must not quarantine");
+
+        // And a fresh store for that interrupted job publishes the real
+        // entry without being confused by the stale orphan.
+        let retry = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        retry.profile(&cfg(), Scale::TEST, Benchmark::Sad, 8).unwrap();
+        assert_eq!(retry.stats().jobs_simulated, 1);
+        let hit = SweepEngine::sequential().with_cache_dir(&tmp.0);
+        hit.profile(&cfg(), Scale::TEST, Benchmark::Sad, 8).unwrap();
+        assert_eq!(hit.stats().jobs_cached, 1);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Client-side helper for the daemon protocol.
+//!
+//! Wraps any [`Transport`] with framed request/response exchange plus
+//! a retry loop for [`Response::Rejected`] backpressure: exponential
+//! backoff with deterministic, seeded jitter ([`SimRng`]), so two
+//! clients configured with different seeds desynchronise their retry
+//! storms while any single run remains reproducible.
+
+use std::time::Duration;
+
+use gcs_sim::rng::SimRng;
+use gcs_workloads::Benchmark;
+
+use crate::proto::{Request, Response};
+use crate::transport::{Transport, TransportError};
+
+/// Retry/backoff knobs for [`SchedClient::submit_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total attempts per submit (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff * 2^k` plus jitter.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep (jitter included).
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream — vary it per client.
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    /// 5 attempts, 1 ms base, 50 ms cap.
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 0,
+        }
+    }
+}
+
+/// A daemon client over any transport (TCP or virtual socket).
+pub struct SchedClient<T: Transport> {
+    conn: T,
+    rng: SimRng,
+    retry: RetryConfig,
+    /// Backoff sleeps taken so far (observable for tests and stats).
+    pub retries: u64,
+}
+
+impl<T: Transport> SchedClient<T> {
+    /// Wraps `conn` with `retry` configuration.
+    pub fn new(conn: T, retry: RetryConfig) -> Self {
+        SchedClient {
+            conn,
+            // Domain-separate the jitter stream from other consumers
+            // of the same user seed ("schedcli").
+            rng: SimRng::seed_from_u64(retry.seed ^ 0x7363_6865_6463_6c69),
+            retry,
+            retries: 0,
+        }
+    }
+
+    /// One framed request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a response frame that fails to decode
+    /// ([`TransportError::Proto`]).
+    pub fn request(&mut self, req: &Request) -> Result<Response, TransportError> {
+        self.conn.send_bytes(&req.encode())?;
+        let frame = self.conn.recv_frame()?;
+        Response::decode(&frame).map_err(TransportError::Proto)
+    }
+
+    /// Submits a job, retrying on non-draining backpressure with
+    /// exponential backoff and seeded jitter. Returns the final
+    /// response — [`Response::Rejected`] if every attempt bounced.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures on any attempt.
+    pub fn submit_with_retry(
+        &mut self,
+        id: u64,
+        bench: Benchmark,
+        at: u64,
+    ) -> Result<Response, TransportError> {
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let resp = self.request(&Request::Submit { id, bench, at })?;
+            match resp {
+                Response::Rejected { draining: false, .. } if attempt + 1 < attempts => {
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                other => return Ok(other),
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+
+    /// Backoff for retry number `attempt` (0-based): exponential in
+    /// the base, plus up to one base-interval of seeded jitter, capped.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.retry.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let jitter_ns = self
+            .rng
+            .gen_range(self.retry.base_backoff.as_nanos().min(u128::from(u64::MAX)) as u64 + 1);
+        (base + Duration::from_nanos(jitter_ns)).min(self.retry.max_backoff)
+    }
+
+    /// Fetches the daemon's status counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn status(&mut self) -> Result<Response, TransportError> {
+        self.request(&Request::Status)
+    }
+
+    /// Fetches the mid-run report JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind
+    /// ([`TransportError::Proto`]).
+    pub fn report(&mut self) -> Result<String, TransportError> {
+        match self.request(&Request::Report)? {
+            Response::Report { json } => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drains the daemon and returns the final report JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected response kind.
+    pub fn drain(&mut self) -> Result<String, TransportError> {
+        match self.request(&Request::Drain)? {
+            Response::Drained { json } => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Consumes the client, returning the transport.
+    pub fn into_inner(self) -> T {
+        self.conn
+    }
+}
+
+fn unexpected(resp: &Response) -> TransportError {
+    TransportError::Proto(crate::proto::ProtoError::Corrupt(format!(
+        "unexpected response: {}",
+        resp.encode_json()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::virtual_pair;
+
+    /// Scripted server: answers each submit from `script`, then echoes
+    /// status forever.
+    fn serve_script(mut server: impl Transport + Send + 'static, script: Vec<Response>) {
+        std::thread::spawn(move || {
+            let mut script = script.into_iter();
+            while let Ok(frame) = server.recv_frame() {
+                let resp = match Request::decode(&frame) {
+                    Ok(Request::Submit { .. }) => script.next().unwrap_or(Response::Error {
+                        kind: "script".into(),
+                        detail: "script exhausted".into(),
+                        diag: None,
+                    }),
+                    Ok(_) => Response::Status {
+                        now: 0,
+                        pending: 0,
+                        running: 0,
+                        completed: 0,
+                        rejected: 0,
+                        failed: 0,
+                        degradations: 0,
+                        draining: false,
+                    },
+                    Err(e) => Response::Error {
+                        kind: e.kind().into(),
+                        detail: e.to_string(),
+                        diag: None,
+                    },
+                };
+                if server.send_bytes(&resp.encode()).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+
+    fn fast_retry(seed: u64) -> RetryConfig {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(200),
+            seed,
+        }
+    }
+
+    #[test]
+    fn retries_through_backpressure_until_accepted() {
+        let (client_sock, server_sock) = virtual_pair();
+        serve_script(
+            server_sock,
+            vec![
+                Response::Rejected {
+                    id: 1,
+                    retry_after: 10,
+                    draining: false,
+                },
+                Response::Rejected {
+                    id: 1,
+                    retry_after: 10,
+                    draining: false,
+                },
+                Response::Submitted { id: 1 },
+            ],
+        );
+        let mut c = SchedClient::new(client_sock, fast_retry(7));
+        let r = c.submit_with_retry(1, Benchmark::Gups, 0).unwrap();
+        assert_eq!(r, Response::Submitted { id: 1 });
+        assert_eq!(c.retries, 2);
+    }
+
+    #[test]
+    fn draining_rejection_short_circuits() {
+        let (client_sock, server_sock) = virtual_pair();
+        serve_script(
+            server_sock,
+            vec![Response::Rejected {
+                id: 3,
+                retry_after: 1,
+                draining: true,
+            }],
+        );
+        let mut c = SchedClient::new(client_sock, fast_retry(7));
+        let r = c.submit_with_retry(3, Benchmark::Hs, 0).unwrap();
+        assert!(matches!(r, Response::Rejected { draining: true, .. }));
+        assert_eq!(c.retries, 0, "no point retrying a draining daemon");
+    }
+
+    #[test]
+    fn exhausted_attempts_return_last_rejection() {
+        let (client_sock, server_sock) = virtual_pair();
+        serve_script(
+            server_sock,
+            vec![
+                Response::Rejected {
+                    id: 9,
+                    retry_after: 5,
+                    draining: false,
+                };
+                4
+            ],
+        );
+        let mut c = SchedClient::new(client_sock, fast_retry(1));
+        let r = c.submit_with_retry(9, Benchmark::Blk, 0).unwrap();
+        assert!(matches!(r, Response::Rejected { draining: false, .. }));
+        assert_eq!(c.retries, 3, "attempts - 1 sleeps");
+    }
+
+    #[test]
+    fn backoff_jitter_is_seed_deterministic() {
+        let seq = |seed: u64| -> Vec<Duration> {
+            let (client_sock, _server_sock) = virtual_pair();
+            let mut c = SchedClient::new(client_sock, fast_retry(seed));
+            (0..5).map(|k| c.backoff(k)).collect()
+        };
+        assert_eq!(seq(42), seq(42), "same seed, same jitter");
+        assert_ne!(seq(42), seq(43), "different seed, different jitter");
+        for d in seq(42) {
+            assert!(d <= Duration::from_micros(200), "cap holds: {d:?}");
+        }
+    }
+}

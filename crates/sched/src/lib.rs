@@ -57,15 +57,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod daemon;
 pub mod policy;
+pub mod proto;
 pub mod queue;
 pub mod report;
 pub mod scheduler;
+pub mod transport;
 
+pub use client::{RetryConfig, SchedClient};
+pub use daemon::{DaemonConfig, DaemonCore, EventCore, Measure, OverloadPolicy};
 pub use policy::{Fcfs, GreedyClass, IlpEpoch, Plan, Policy, PolicyKind};
+pub use proto::{ProtoError, Request, Response};
 pub use queue::{AdmissionQueue, Job, JobId, Rejection};
-pub use report::{GroupDispatch, JobOutcome, LatencyStats, SchedReport};
+pub use report::{GroupDispatch, JobFailure, JobOutcome, LatencyStats, SchedReport};
 pub use scheduler::{OnlineScheduler, SchedConfig};
+pub use transport::{
+    virtual_link, virtual_pair, FaultSpec, FaultyTransport, Listener, TcpAcceptor, TcpTransport,
+    Transport, TransportError, VirtualConnector, VirtualListener, VirtualSocket,
+};
 
 use gcs_core::CoreError;
 

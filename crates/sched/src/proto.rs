@@ -1,0 +1,854 @@
+//! The `schedd` wire protocol: versioned, length-prefixed, checksummed
+//! frames carrying hand-rolled JSON messages.
+//!
+//! The format deliberately mirrors the kernel-trace wire format
+//! (`gcs_sim::trace_fmt` v1): a fixed little-endian header — magic
+//! `"GCSD"`, `version: u32`, `payload_len: u32`, `checksum: u64`
+//! (FNV-1a over the payload) — followed by a UTF-8 JSON payload. Every
+//! way a frame can be wrong maps to a typed [`ProtoError`]; the decoder
+//! **never panics** on adversarial input (`tests/proto_properties.rs`
+//! fuzzes exactly that) and never trusts the advertised length beyond
+//! [`MAX_FRAME_PAYLOAD`], so a hostile peer cannot make the daemon
+//! allocate unboundedly.
+//!
+//! The message bodies are the small fixed shapes of [`Request`] and
+//! [`Response`]; parsing is a rigid scanner in the style of
+//! `ArrivalTrace::from_json` — anything off-shape is
+//! [`ProtoError::Corrupt`], not a panic.
+
+use std::fmt;
+
+use gcs_workloads::Benchmark;
+
+/// Magic bytes opening every frame.
+pub const PROTO_MAGIC: [u8; 4] = *b"GCSD";
+
+/// Current wire-format version.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame header length in bytes: magic + version + payload_len +
+/// checksum.
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4 + 8;
+
+/// Hard ceiling on a frame payload. Requests are tiny and responses are
+/// bounded by one full `SchedReport`; anything larger is an attack or a
+/// bug, and is refused *before* allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Typed failure decoding a frame or message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The byte stream ended before the structure it promised.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+        /// Bytes wanted at that offset.
+        want: usize,
+    },
+    /// The stream does not start with [`PROTO_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header carries a version this build cannot speak.
+    UnsupportedVersion(u32),
+    /// The header advertises a payload larger than the budget.
+    Oversize {
+        /// Advertised payload length.
+        len: usize,
+        /// Budget in force.
+        max: usize,
+    },
+    /// Structurally unreadable frame or message (checksum mismatch,
+    /// trailing bytes, non-UTF-8 payload, off-shape JSON).
+    Corrupt(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { at, want } => {
+                write!(f, "frame truncated: wanted {want} more byte(s) at offset {at}")
+            }
+            ProtoError::BadMagic(m) => write!(f, "not a schedd frame (magic {m:02x?})"),
+            ProtoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {PROTO_VERSION})")
+            }
+            ProtoError::Oversize { len, max } => {
+                write!(f, "frame payload of {len} byte(s) exceeds the {max}-byte budget")
+            }
+            ProtoError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A short stable tag for each error variant (used in responses and
+/// fault transcripts, where the full message would be noise).
+impl ProtoError {
+    /// `"truncated"` / `"bad-magic"` / `"unsupported-version"` /
+    /// `"oversize"` / `"corrupt"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtoError::Truncated { .. } => "truncated",
+            ProtoError::BadMagic(_) => "bad-magic",
+            ProtoError::UnsupportedVersion(_) => "unsupported-version",
+            ProtoError::Oversize { .. } => "oversize",
+            ProtoError::Corrupt(_) => "corrupt",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Frame encode / decode
+// ----------------------------------------------------------------------
+
+/// Wraps `payload` in a v1 frame: header (magic, version, length,
+/// FNV-1a checksum) + payload.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&PROTO_MAGIC);
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a 20-byte header and returns the advertised payload length
+/// and checksum. Streaming transports call this first, then read
+/// exactly that many payload bytes, then [`verify_payload`] — so the
+/// length is vetted against [`MAX_FRAME_PAYLOAD`] *before* any payload
+/// allocation.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] for a short header, [`ProtoError::BadMagic`],
+/// [`ProtoError::UnsupportedVersion`] and [`ProtoError::Oversize`] as
+/// advertised.
+pub fn decode_header(header: &[u8]) -> Result<(usize, u64), ProtoError> {
+    if header.len() < FRAME_HEADER_LEN {
+        return Err(ProtoError::Truncated {
+            at: header.len(),
+            want: FRAME_HEADER_LEN - header.len(),
+        });
+    }
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != PROTO_MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if version != PROTO_VERSION {
+        return Err(ProtoError::UnsupportedVersion(version));
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::Oversize {
+            len,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    let checksum = u64::from_le_bytes([
+        header[12], header[13], header[14], header[15], header[16], header[17], header[18],
+        header[19],
+    ]);
+    Ok((len, checksum))
+}
+
+/// Verifies a payload against its header checksum.
+///
+/// # Errors
+///
+/// [`ProtoError::Corrupt`] on mismatch.
+pub fn verify_payload(checksum: u64, payload: &[u8]) -> Result<(), ProtoError> {
+    let actual = fnv1a_bytes(payload);
+    if actual != checksum {
+        return Err(ProtoError::Corrupt(format!(
+            "payload checksum {actual:016x} does not match header {checksum:016x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes one complete frame from `bytes` and returns its payload.
+/// The buffer must hold exactly one frame; trailing bytes are
+/// [`ProtoError::Corrupt`].
+///
+/// # Errors
+///
+/// Every [`ProtoError`] variant, as advertised by [`decode_header`] and
+/// [`verify_payload`]; never panics.
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], ProtoError> {
+    let (len, checksum) = decode_header(bytes)?;
+    let have = bytes.len() - FRAME_HEADER_LEN;
+    if have < len {
+        return Err(ProtoError::Truncated {
+            at: bytes.len(),
+            want: len - have,
+        });
+    }
+    if have > len {
+        return Err(ProtoError::Corrupt(format!(
+            "{} trailing byte(s) after the payload",
+            have - len
+        )));
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    verify_payload(checksum, payload)?;
+    Ok(payload)
+}
+
+/// FNV-1a 64-bit over raw bytes (standard offset basis and prime; same
+/// function the trace format and the sweep cache use).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ----------------------------------------------------------------------
+// Messages
+// ----------------------------------------------------------------------
+
+/// A client request to the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Submit one job: client-chosen id, benchmark, logical arrival
+    /// cycle (non-decreasing across a session; the daemon clamps).
+    Submit {
+        /// Client-chosen job id (echoed back in the response).
+        id: u64,
+        /// Benchmark to run.
+        bench: Benchmark,
+        /// Logical arrival cycle.
+        at: u64,
+    },
+    /// Read-only snapshot of daemon state (never advances time).
+    Status,
+    /// The canonical `SchedReport` JSON for the work finished so far
+    /// (advances time over everything already submitted).
+    Report,
+    /// Stop admitting, finish in-flight jobs, return the final report.
+    Drain,
+}
+
+impl Request {
+    /// Renders the request as its canonical single-line JSON payload.
+    pub fn encode_json(&self) -> String {
+        match self {
+            Request::Submit { id, bench, at } => format!(
+                "{{\"op\":\"submit\",\"id\":{id},\"bench\":\"{}\",\"at\":{at}}}",
+                bench.name()
+            ),
+            Request::Status => "{\"op\":\"status\"}".to_string(),
+            Request::Report => "{\"op\":\"report\"}".to_string(),
+            Request::Drain => "{\"op\":\"drain\"}".to_string(),
+        }
+    }
+
+    /// Wraps [`Request::encode_json`] in a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(self.encode_json().as_bytes())
+    }
+
+    /// Parses the shape [`Request::encode_json`] writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Corrupt`] on any structural mismatch; never
+    /// panics.
+    pub fn decode_json(text: &str) -> Result<Request, ProtoError> {
+        let mut s = Scan::new(text);
+        s.lit("{")?;
+        s.key("op")?;
+        let op = s.string()?;
+        let req = match op.as_str() {
+            "submit" => {
+                s.lit(",")?;
+                s.key("id")?;
+                let id = s.u64()?;
+                s.lit(",")?;
+                s.key("bench")?;
+                let name = s.string()?;
+                let bench = Benchmark::from_name(&name).ok_or_else(|| {
+                    ProtoError::Corrupt(format!("unknown benchmark {name:?}"))
+                })?;
+                s.lit(",")?;
+                s.key("at")?;
+                let at = s.u64()?;
+                Request::Submit { id, bench, at }
+            }
+            "status" => Request::Status,
+            "report" => Request::Report,
+            "drain" => Request::Drain,
+            other => return Err(ProtoError::Corrupt(format!("unknown request op {other:?}"))),
+        };
+        s.lit("}")?;
+        s.end()?;
+        Ok(req)
+    }
+
+    /// Decodes a framed request ([`decode_frame`] + [`Request::decode_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Every [`ProtoError`] variant; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ProtoError> {
+        Request::decode_json(payload_str(decode_frame(bytes)?)?)
+    }
+}
+
+/// A daemon response to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The job was admitted.
+    Submitted {
+        /// Echo of the submitted id.
+        id: u64,
+    },
+    /// Admission backpressure: the queue is full (or the daemon is
+    /// draining); retry no earlier than `retry_after` cycles from the
+    /// submission's arrival cycle.
+    Rejected {
+        /// Echo of the submitted id.
+        id: u64,
+        /// Suggested wait before resubmitting, in cycles (≥ 1).
+        retry_after: u64,
+        /// True when the rejection is a drain, not capacity — retrying
+        /// is then pointless.
+        draining: bool,
+    },
+    /// State snapshot.
+    Status {
+        /// Current logical cycle.
+        now: u64,
+        /// Jobs waiting in the admission queue.
+        pending: usize,
+        /// Devices currently running a group.
+        running: usize,
+        /// Jobs completed so far.
+        completed: usize,
+        /// Jobs rejected so far.
+        rejected: usize,
+        /// Jobs that died in simulation (timeout/deadlock).
+        failed: usize,
+        /// Degradations recorded so far.
+        degradations: usize,
+        /// Whether a drain is in progress / finished.
+        draining: bool,
+    },
+    /// A canonical `SchedReport` document.
+    Report {
+        /// The report JSON (multi-line, exactly `SchedReport::to_json`).
+        json: String,
+    },
+    /// Drain finished; the final report.
+    Drained {
+        /// The final report JSON.
+        json: String,
+    },
+    /// Typed failure. `kind` is stable (`"proto"`, `"sim-timeout"`,
+    /// `"sim-deadlock"`, `"stalled"`, `"internal"`); `diag` carries the
+    /// device `DiagSnapshot` rendering when the simulator produced one.
+    Error {
+        /// Stable error tag.
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+        /// Device diagnostics, when available.
+        diag: Option<String>,
+    },
+}
+
+impl Response {
+    /// Renders the response as its canonical single-line JSON payload.
+    pub fn encode_json(&self) -> String {
+        match self {
+            Response::Submitted { id } => format!("{{\"ok\":\"submitted\",\"id\":{id}}}"),
+            Response::Rejected {
+                id,
+                retry_after,
+                draining,
+            } => format!(
+                "{{\"ok\":\"rejected\",\"id\":{id},\"retry_after\":{retry_after},\"draining\":{draining}}}"
+            ),
+            Response::Status {
+                now,
+                pending,
+                running,
+                completed,
+                rejected,
+                failed,
+                degradations,
+                draining,
+            } => format!(
+                "{{\"ok\":\"status\",\"now\":{now},\"pending\":{pending},\"running\":{running},\
+                 \"completed\":{completed},\"rejected\":{rejected},\"failed\":{failed},\
+                 \"degradations\":{degradations},\"draining\":{draining}}}"
+            ),
+            Response::Report { json } => {
+                format!("{{\"ok\":\"report\",\"json\":\"{}\"}}", esc(json))
+            }
+            Response::Drained { json } => {
+                format!("{{\"ok\":\"drained\",\"json\":\"{}\"}}", esc(json))
+            }
+            Response::Error { kind, detail, diag } => match diag {
+                Some(d) => format!(
+                    "{{\"ok\":\"error\",\"kind\":\"{}\",\"detail\":\"{}\",\"diag\":\"{}\"}}",
+                    esc(kind),
+                    esc(detail),
+                    esc(d)
+                ),
+                None => format!(
+                    "{{\"ok\":\"error\",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                    esc(kind),
+                    esc(detail)
+                ),
+            },
+        }
+    }
+
+    /// Wraps [`Response::encode_json`] in a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(self.encode_json().as_bytes())
+    }
+
+    /// Parses the shape [`Response::encode_json`] writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Corrupt`] on any structural mismatch; never
+    /// panics.
+    pub fn decode_json(text: &str) -> Result<Response, ProtoError> {
+        let mut s = Scan::new(text);
+        s.lit("{")?;
+        s.key("ok")?;
+        let ok = s.string()?;
+        let resp = match ok.as_str() {
+            "submitted" => {
+                s.lit(",")?;
+                s.key("id")?;
+                Response::Submitted { id: s.u64()? }
+            }
+            "rejected" => {
+                s.lit(",")?;
+                s.key("id")?;
+                let id = s.u64()?;
+                s.lit(",")?;
+                s.key("retry_after")?;
+                let retry_after = s.u64()?;
+                s.lit(",")?;
+                s.key("draining")?;
+                let draining = s.bool()?;
+                Response::Rejected {
+                    id,
+                    retry_after,
+                    draining,
+                }
+            }
+            "status" => {
+                let mut field = |name: &str| -> Result<u64, ProtoError> {
+                    s.lit(",")?;
+                    s.key(name)?;
+                    s.u64()
+                };
+                let now = field("now")?;
+                let pending = field("pending")? as usize;
+                let running = field("running")? as usize;
+                let completed = field("completed")? as usize;
+                let rejected = field("rejected")? as usize;
+                let failed = field("failed")? as usize;
+                let degradations = field("degradations")? as usize;
+                s.lit(",")?;
+                s.key("draining")?;
+                let draining = s.bool()?;
+                Response::Status {
+                    now,
+                    pending,
+                    running,
+                    completed,
+                    rejected,
+                    failed,
+                    degradations,
+                    draining,
+                }
+            }
+            "report" => {
+                s.lit(",")?;
+                s.key("json")?;
+                Response::Report { json: s.string()? }
+            }
+            "drained" => {
+                s.lit(",")?;
+                s.key("json")?;
+                Response::Drained { json: s.string()? }
+            }
+            "error" => {
+                s.lit(",")?;
+                s.key("kind")?;
+                let kind = s.string()?;
+                s.lit(",")?;
+                s.key("detail")?;
+                let detail = s.string()?;
+                let diag = if s.peek_lit(",") {
+                    s.lit(",")?;
+                    s.key("diag")?;
+                    Some(s.string()?)
+                } else {
+                    None
+                };
+                Response::Error { kind, detail, diag }
+            }
+            other => return Err(ProtoError::Corrupt(format!("unknown response tag {other:?}"))),
+        };
+        s.lit("}")?;
+        s.end()?;
+        Ok(resp)
+    }
+
+    /// Decodes a framed response.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ProtoError`] variant; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Response, ProtoError> {
+        Response::decode_json(payload_str(decode_frame(bytes)?)?)
+    }
+}
+
+fn payload_str(payload: &[u8]) -> Result<&str, ProtoError> {
+    std::str::from_utf8(payload)
+        .map_err(|_| ProtoError::Corrupt("payload is not UTF-8".into()))
+}
+
+/// JSON string escaping for embedded documents: quotes, backslashes and
+/// all control characters (reports contain newlines).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Rigid scanner over one message. No recursion, no lookahead beyond
+/// one literal — the shapes are fixed, so anything surprising is
+/// `Corrupt` immediately.
+struct Scan<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scan<'a> {
+    fn new(text: &'a str) -> Scan<'a> {
+        Scan { rest: text.trim() }
+    }
+
+    fn corrupt(&self, why: &str) -> ProtoError {
+        let ctx: String = self.rest.chars().take(24).collect();
+        ProtoError::Corrupt(format!("{why} at {ctx:?}"))
+    }
+
+    fn lit(&mut self, token: &str) -> Result<(), ProtoError> {
+        self.rest = self.rest.trim_start();
+        match self.rest.strip_prefix(token) {
+            Some(tail) => {
+                self.rest = tail;
+                Ok(())
+            }
+            None => Err(self.corrupt(&format!("expected {token:?}"))),
+        }
+    }
+
+    fn peek_lit(&self, token: &str) -> bool {
+        self.rest.trim_start().starts_with(token)
+    }
+
+    /// `"name":` — one object key.
+    fn key(&mut self, name: &str) -> Result<(), ProtoError> {
+        self.lit(&format!("\"{name}\""))?;
+        self.lit(":")
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        self.rest = self.rest.trim_start();
+        let digits = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if digits == 0 {
+            return Err(self.corrupt("expected integer"));
+        }
+        let v = self.rest[..digits]
+            .parse()
+            .map_err(|_| self.corrupt("integer out of range"))?;
+        self.rest = &self.rest[digits..];
+        Ok(v)
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        self.rest = self.rest.trim_start();
+        if let Some(tail) = self.rest.strip_prefix("true") {
+            self.rest = tail;
+            Ok(true)
+        } else if let Some(tail) = self.rest.strip_prefix("false") {
+            self.rest = tail;
+            Ok(false)
+        } else {
+            Err(self.corrupt("expected boolean"))
+        }
+    }
+
+    /// A quoted string with the escapes [`esc`] writes.
+    fn string(&mut self) -> Result<String, ProtoError> {
+        self.lit("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(ProtoError::Corrupt("unterminated string".into()));
+            };
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, e)) = chars.next() else {
+                        return Err(ProtoError::Corrupt("dangling escape".into()));
+                    };
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some((_, h)) = chars.next() else {
+                                    return Err(ProtoError::Corrupt(
+                                        "truncated \\u escape".into(),
+                                    ));
+                                };
+                                let d = h.to_digit(16).ok_or_else(|| {
+                                    ProtoError::Corrupt(format!("bad \\u digit {h:?}"))
+                                })?;
+                                code = code * 16 + d;
+                            }
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                ProtoError::Corrupt(format!("bad \\u code point {code:#x}"))
+                            })?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(ProtoError::Corrupt(format!("unknown escape \\{other}")))
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn end(&mut self) -> Result<(), ProtoError> {
+        if !self.rest.trim().is_empty() {
+            Err(self.corrupt("trailing content"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Submit {
+                id: 0,
+                bench: Benchmark::Gups,
+                at: 0,
+            },
+            Request::Submit {
+                id: u64::MAX,
+                bench: Benchmark::Bfs2,
+                at: 123_456_789,
+            },
+            Request::Status,
+            Request::Report,
+            Request::Drain,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Submitted { id: 3 },
+            Response::Rejected {
+                id: 9,
+                retry_after: 4_000,
+                draining: false,
+            },
+            Response::Rejected {
+                id: 10,
+                retry_after: 1,
+                draining: true,
+            },
+            Response::Status {
+                now: 55,
+                pending: 2,
+                running: 1,
+                completed: 7,
+                rejected: 1,
+                failed: 1,
+                degradations: 3,
+                draining: false,
+            },
+            Response::Report {
+                json: "{\n  \"policy\": \"ilp\"\n}\n".into(),
+            },
+            Response::Drained {
+                json: "{\n  \"x\": [1,2]\n}\n".into(),
+            },
+            Response::Error {
+                kind: "sim-timeout".into(),
+                detail: "cycle budget exhausted at cycle 99".into(),
+                diag: Some("2/4 SMs enabled, 0 ready / 3 live warps".into()),
+            },
+            Response::Error {
+                kind: "proto".into(),
+                detail: "corrupt frame: \"quoted\"\tand\u{1} control".into(),
+                diag: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        let bytes = Request::Submit {
+            id: 7,
+            bench: Benchmark::Sad,
+            at: 42,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            match Request::decode(&bytes[..cut]) {
+                Err(ProtoError::Truncated { .. }) | Err(ProtoError::BadMagic(_)) => {}
+                other => panic!("prefix of {cut} bytes: expected truncation, got {other:?}"),
+            }
+        }
+        assert!(Request::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn bad_magic_version_and_oversize_are_typed() {
+        let mut bytes = Request::Status.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::BadMagic(_))
+        ));
+
+        let mut bytes = Request::Status.encode();
+        bytes[4] = 99;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::UnsupportedVersion(99))
+        ));
+
+        let mut bytes = Request::Status.encode();
+        let huge = (MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes();
+        bytes[8..12].copy_from_slice(&huge);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_and_trailing_bytes_are_corrupt() {
+        let mut bytes = Request::Drain.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip payload bit: checksum mismatch
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::Corrupt(_))
+        ));
+
+        let mut bytes = Request::Drain.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn off_shape_json_is_corrupt_never_panic() {
+        for bad in [
+            "",
+            "{}",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"submit\",\"id\":1}",
+            "{\"op\":\"submit\",\"id\":1,\"bench\":\"NOPE\",\"at\":0}",
+            "{\"op\":\"status\"} extra",
+            "{\"op\":\"status\"",
+            "{\"ok\":\"status\"}",
+            "[1,2,3]",
+            "{\"ok\":\"report\",\"json\":\"unterminated}",
+            "{\"ok\":\"error\",\"kind\":\"k\",\"detail\":\"\\q\"}",
+        ] {
+            assert!(
+                Request::decode_json(bad).is_err() || Response::decode_json(bad).is_err(),
+                "must reject {bad:?}"
+            );
+        }
+        assert!(matches!(
+            Request::decode_json("{\"op\":\"submit\",\"id\":1,\"bench\":\"NOPE\",\"at\":0}"),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(ProtoError::Truncated { at: 0, want: 1 }.kind(), "truncated");
+        assert_eq!(ProtoError::BadMagic([0; 4]).kind(), "bad-magic");
+        assert_eq!(ProtoError::UnsupportedVersion(2).kind(), "unsupported-version");
+        assert_eq!(
+            ProtoError::Oversize { len: 9, max: 1 }.kind(),
+            "oversize"
+        );
+        assert_eq!(ProtoError::Corrupt("x".into()).kind(), "corrupt");
+        // Display is informative.
+        let e = ProtoError::Oversize {
+            len: 2_000_000,
+            max: MAX_FRAME_PAYLOAD,
+        };
+        assert!(e.to_string().contains("budget"));
+    }
+}

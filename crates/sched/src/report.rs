@@ -53,6 +53,31 @@ impl JobOutcome {
     }
 }
 
+/// Final accounting for one job whose group died in simulation
+/// (cycle-budget timeout or deadlock).
+///
+/// Failed jobs are counted *explicitly* — never folded into
+/// completions — and carry the device diagnostics
+/// ([`DiagSnapshot`](gcs_sim::stats::DiagSnapshot) rendering) so a
+/// report reader sees *why* the job died, not just that it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Trace-order id.
+    pub id: JobId,
+    /// Benchmark the job was running.
+    pub bench: Benchmark,
+    /// Arrival cycle (from the trace).
+    pub arrival: u64,
+    /// Cycle at which the doomed group was dispatched.
+    pub dispatch: u64,
+    /// Failure kind: `"timeout"` or `"deadlock"`.
+    pub kind: &'static str,
+    /// Simulator cycle at which the group died.
+    pub cycle: u64,
+    /// Device diagnostics at the moment of death.
+    pub diag: String,
+}
+
 /// One group dispatch: which jobs ran together, where and when.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupDispatch {
@@ -121,6 +146,8 @@ pub struct SchedReport {
     pub jobs: Vec<JobOutcome>,
     /// Jobs turned away at admission, trace order.
     pub rejections: Vec<Rejection>,
+    /// Jobs whose group died in simulation, dispatch order.
+    pub failed: Vec<JobFailure>,
     /// Group dispatches in dispatch order (ties: device order).
     pub groups: Vec<GroupDispatch>,
     /// Downgrades recorded while planning.
@@ -219,6 +246,16 @@ impl SchedReport {
             ));
         }
         s.push_str(if self.rejections.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"failed\": [");
+        for (i, x) in self.failed.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"id\":{},\"bench\":\"{}\",\"arrival\":{},\"dispatch\":{},\"kind\":\"{}\",\"cycle\":{},\"diag\":\"{}\"}}",
+                x.id, x.bench, x.arrival, x.dispatch, x.kind, x.cycle, esc(&x.diag),
+            ));
+        }
+        s.push_str(if self.failed.is_empty() { "],\n" } else { "\n  ],\n" });
 
         s.push_str("  \"degradations\": [");
         for (i, d) in self.degradations.iter().enumerate() {
@@ -322,6 +359,15 @@ mod tests {
                 at: 5,
                 capacity: 8,
             }],
+            failed: vec![JobFailure {
+                id: 2,
+                bench: Benchmark::Blk,
+                arrival: 3,
+                dispatch: 4,
+                kind: "timeout",
+                cycle: 999,
+                diag: "2/4 SMs enabled".into(),
+            }],
             groups: vec![GroupDispatch {
                 gpu: 0,
                 start: 0,
@@ -345,6 +391,8 @@ mod tests {
             "\"stp\":0.8",
             "\\\"limit\\\"",
             "\"p99\":",
+            "\"kind\":\"timeout\"",
+            "\"diag\":\"2/4 SMs enabled\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -355,12 +403,14 @@ mod tests {
             queue_capacity: 4,
             jobs: vec![],
             rejections: vec![],
+            failed: vec![],
             groups: vec![],
             degradations: vec![],
             makespan: 0,
         };
         let j = empty.to_json();
         assert!(j.contains("\"jobs\": [],"));
+        assert!(j.contains("\"failed\": [],"));
         assert!(j.contains("\"degradations\": []\n"));
         assert!((empty.stp() - 0.0).abs() < 1e-12);
         assert!((empty.antt() - 0.0).abs() < 1e-12);

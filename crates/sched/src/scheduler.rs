@@ -1,9 +1,9 @@
-//! The discrete-event scheduling loop.
+//! The batch entry point to the discrete-event scheduling loop.
 //!
-//! Time is simulated GPU cycles. The loop holds three event sources —
-//! trace arrivals, group completions and optional re-plan interval
-//! ticks — and always advances to the earliest pending one. Events that
-//! share a timestamp are processed in a fixed order so runs are
+//! Time is simulated GPU cycles. The engine holds three event sources
+//! — trace arrivals, group completions and optional re-plan interval
+//! ticks — and always advances to the earliest pending one. Events
+//! that share a timestamp are processed in a fixed order so runs are
 //! reproducible regardless of how the tie arose:
 //!
 //! 1. **completions** free their devices,
@@ -11,6 +11,13 @@
 //!    cached plan — the census changed),
 //! 3. **dispatch** fills free devices in ascending device order from
 //!    the front of the current plan, planning lazily if none is cached.
+//!
+//! The loop itself lives in [`EventCore`](crate::daemon::EventCore) in
+//! its incremental (submit-by-submit) form; [`OnlineScheduler::run`]
+//! feeds a whole [`ArrivalTrace`] through it and drains. Because the
+//! daemon drives the *same* engine, a daemon session submitting the
+//! same jobs at the same logical cycles produces a byte-identical
+//! report — equivalence by construction, not by parallel maintenance.
 //!
 //! Group execution itself is *measured*, not simulated here: a dispatch
 //! calls [`Pipeline::run_group`], which routes through the memoized
@@ -20,16 +27,16 @@
 //! co-run cycle count elapses (co-runners can finish earlier than the
 //! group holds the device — same semantics as the batch pipeline's
 //! accounting).
+//!
+//! [`Pipeline::run_group`]: gcs_core::runner::Pipeline::run_group
 
-use std::collections::VecDeque;
-
-use gcs_core::fault::Degradation;
 use gcs_core::runner::{AllocationPolicy, Pipeline};
-use gcs_workloads::{ArrivalTrace, Benchmark};
+use gcs_workloads::ArrivalTrace;
 
+use crate::daemon::{EventCore, OverloadPolicy};
 use crate::policy::Policy;
-use crate::queue::{AdmissionQueue, Job, JobId, Rejection};
-use crate::report::{GroupDispatch, JobOutcome, SchedReport};
+use crate::queue::Job;
+use crate::report::SchedReport;
 use crate::SchedError;
 
 /// Knobs for one scheduler run.
@@ -97,137 +104,16 @@ impl<'p> OnlineScheduler<'p> {
         trace: &ArrivalTrace,
         policy: &mut dyn Policy,
     ) -> Result<SchedReport, SchedError> {
-        let arrivals = trace.arrivals();
-        let mut next_arrival = 0usize; // index into `arrivals`
-        let mut queue = AdmissionQueue::new(self.cfg.queue_capacity);
-        // `busy[g]` is Some(cycle at which device g frees up).
-        let mut busy: Vec<Option<u64>> = vec![None; self.cfg.num_gpus as usize];
-        let mut plan: Option<VecDeque<Vec<JobId>>> = None;
-        let mut last_tick = 0u64;
-
-        let mut jobs: Vec<JobOutcome> = Vec::new();
-        let mut rejections: Vec<Rejection> = Vec::new();
-        let mut groups: Vec<GroupDispatch> = Vec::new();
-        let mut degradations: Vec<Degradation> = Vec::new();
-
-        let mut now = 0u64;
-        loop {
-            // 1. Completions at or before `now` free their devices.
-            for slot in &mut busy {
-                if slot.is_some_and(|until| until <= now) {
-                    *slot = None;
-                }
-            }
-
-            // 2. Admissions due now, in trace order.
-            let mut admitted = false;
-            while next_arrival < arrivals.len() && arrivals[next_arrival].time <= now {
-                let a = &arrivals[next_arrival];
-                let job = Job {
-                    id: next_arrival,
-                    bench: a.bench,
-                    arrival: a.time,
-                };
-                match queue.offer(job) {
-                    Ok(()) => admitted = true,
-                    Err(r) => rejections.push(r),
-                }
-                next_arrival += 1;
-            }
-            if admitted {
-                plan = None; // census changed: re-plan before next dispatch
-            }
-
-            // Re-plan interval ticks crossed since the last event also
-            // invalidate the plan (no-op when the queue is empty).
-            if let Some(iv) = self.cfg.replan_interval {
-                if iv > 0 && now / iv > last_tick {
-                    last_tick = now / iv;
-                    plan = None;
-                }
-            }
-
-            // 3. Dispatch onto free devices, ascending device order.
-            while !queue.is_empty() {
-                let Some(gpu) = busy.iter().position(Option::is_none) else {
-                    break;
-                };
-                if plan.is_none() {
-                    let fresh = policy.plan(self.pipeline, &queue.pending_vec())?;
-                    degradations.extend(fresh.degradations);
-                    plan = Some(fresh.groups.into());
-                }
-                let Some(group_ids) = plan.as_mut().and_then(VecDeque::pop_front) else {
-                    break; // defensive: policy returned an empty plan
-                };
-                let members = queue.take(&group_ids);
-                let benches: Vec<Benchmark> = members.iter().map(|j| j.bench).collect();
-                let result = self.pipeline.run_group(&benches, self.cfg.alloc)?;
-
-                let mut stp = 0.0;
-                for (member, app) in members.iter().zip(&result.apps) {
-                    let alone = self.pipeline.profile(member.bench).cycles;
-                    stp += alone as f64 / app.cycles as f64;
-                    jobs.push(JobOutcome {
-                        id: member.id,
-                        bench: member.bench,
-                        arrival: member.arrival,
-                        dispatch: now,
-                        completion: now + app.cycles,
-                        gpu: gpu as u32,
-                        alone_cycles: alone,
-                        corun_cycles: app.cycles,
-                    });
-                }
-                // A group always occupies its device for at least one
-                // cycle, or same-timestamp dispatch would loop forever.
-                let end = now + result.makespan.max(1);
-                busy[gpu] = Some(end);
-                groups.push(GroupDispatch {
-                    gpu: gpu as u32,
-                    start: now,
-                    end,
-                    jobs: group_ids,
-                    stp,
-                });
-            }
-
-            // 4. Advance to the earliest future event.
-            let next_done = busy.iter().flatten().copied().min();
-            let next_arr = arrivals.get(next_arrival).map(|a| a.time);
-            let next_tick = match self.cfg.replan_interval {
-                // Ticks only matter while work is both waiting and
-                // blocked behind busy devices.
-                Some(iv) if iv > 0 && !queue.is_empty() => Some(((now / iv) + 1) * iv),
-                _ => None,
+        let mut core = EventCore::new(self.cfg, OverloadPolicy::default())?;
+        for (i, a) in trace.arrivals().iter().enumerate() {
+            let job = Job {
+                id: i,
+                bench: a.bench,
+                arrival: a.time,
             };
-            let Some(next) = [next_done, next_arr, next_tick].into_iter().flatten().min()
-            else {
-                break;
-            };
-            debug_assert!(next > now, "events must move time forward");
-            now = next;
+            core.submit(&mut *self.pipeline, policy, job)?;
         }
-
-        if !queue.is_empty() {
-            return Err(SchedError::Stalled {
-                waiting: queue.len(),
-                at: now,
-            });
-        }
-
-        jobs.sort_unstable_by_key(|j| j.id);
-        let makespan = groups.iter().map(|g| g.end).max().unwrap_or(0);
-        Ok(SchedReport {
-            policy: policy.name().to_string(),
-            num_gpus: self.cfg.num_gpus,
-            queue_capacity: self.cfg.queue_capacity,
-            jobs,
-            rejections,
-            groups,
-            degradations,
-            makespan,
-        })
+        core.drain(&mut *self.pipeline, policy)
     }
 }
 
@@ -235,10 +121,11 @@ impl<'p> OnlineScheduler<'p> {
 mod tests {
     use super::*;
     use crate::policy::{Fcfs, PolicyKind};
+    use crate::queue::JobId;
     use gcs_core::interference::InterferenceMatrix;
     use gcs_core::runner::RunConfig;
     use gcs_sim::config::GpuConfig;
-    use gcs_workloads::{Arrival, Scale};
+    use gcs_workloads::{Arrival, Benchmark, Scale};
 
     fn test_pipeline(concurrency: u32) -> Pipeline {
         let cfg = RunConfig {

@@ -217,11 +217,20 @@ awk -v sim_threads="$SIM_THREADS" '
                 ", \"sim_threads\": " sim_threads "}"
         entries = entries (entries == "" ? "" : ",\n") entry
     }
+    # Daemon decision sidecar (decisions_per_sec, p50/p99 decision
+    # latency) — informational, not gated: throughput moves the other
+    # way from min_ns, so the regression gate above must not see it.
+    /^BENCH_DAEMON_JSON / { daemon = substr($0, 19) }
     END {
         print "{"
         print "  \"benches\": {"
         print entries
-        print "  }"
+        if (daemon != "") {
+            print "  },"
+            print "  \"daemon\": " daemon
+        } else {
+            print "  }"
+        }
         print "}"
     }
 ' "$SCHED_RAW" > "$SCHED_OUT"

@@ -37,6 +37,15 @@
 #                               (shard_smoke binary) and asserts the
 #                               canonical JSON stats line is byte-identical
 #                               at every shard count, then exits
+#   scripts/ci.sh --daemon-smoke
+#                               scheduler-daemon gate only: drives a seeded
+#                               trace through an in-process schedd over
+#                               virtual sockets (schedd_client --virtual),
+#                               asserts the drained report is byte-identical
+#                               to the batch scheduler at 1/2/8 worker
+#                               threads, and replays a fault-injected
+#                               session twice to pin its transcript and
+#                               report (DESIGN.md §13), then exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -54,6 +63,7 @@ SCHED_SMOKE=0
 PROFILE_SMOKE=0
 TRACE_SMOKE=0
 SHARD_SMOKE=0
+DAEMON_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
@@ -63,7 +73,8 @@ for arg in "$@"; do
         --profile-smoke) PROFILE_SMOKE=1 ;;
         --trace-smoke) TRACE_SMOKE=1 ;;
         --shard-smoke) SHARD_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke] [--shard-smoke]" >&2; exit 2 ;;
+        --daemon-smoke) DAEMON_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke] [--shard-smoke] [--daemon-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -155,6 +166,56 @@ if [ "$SHARD_SMOKE" -eq 1 ]; then
     exit 0
 fi
 
+# Scheduler-daemon gate: the online daemon session must be the same
+# computation as the batch scheduler (byte-identical reports, stable
+# across worker-thread counts), and the injected-fault session must be
+# perfectly reproducible from its seed (DESIGN.md §13).
+daemon_smoke() {
+    step "daemon smoke (schedd_client --virtual: batch equivalence + fault determinism)"
+    cargo build --release --bin schedd_client
+    local dir threads run ref=""
+    dir=$(mktemp -d)
+    for threads in 1 2 8; do
+        GCS_SCALE=test GCS_THREADS=$threads ./target/release/schedd_client --virtual \
+            --jobs 8 --out "$dir/daemon_$threads.json" \
+            --batch-out "$dir/batch_$threads.json" >/dev/null
+        cmp "$dir/daemon_$threads.json" "$dir/batch_$threads.json" || {
+            echo "daemon report differs from batch report at $threads threads" >&2
+            exit 1
+        }
+        if [ -z "$ref" ]; then
+            ref="$dir/daemon_$threads.json"
+        else
+            cmp "$ref" "$dir/daemon_$threads.json" || {
+                echo "daemon report differs across worker-thread counts" >&2
+                exit 1
+            }
+        fi
+    done
+    echo "  daemon session == batch report, byte-identical at 1/2/8 threads"
+    for run in 1 2; do
+        GCS_SCALE=test ./target/release/schedd_client --virtual --jobs 10 \
+            --faults 3491 --transcript "$dir/transcript_$run.txt" \
+            --out "$dir/faulted_$run.json" >/dev/null
+    done
+    cmp "$dir/transcript_1.txt" "$dir/transcript_2.txt" || {
+        echo "fault transcript is not deterministic" >&2
+        exit 1
+    }
+    cmp "$dir/faulted_1.json" "$dir/faulted_2.json" || {
+        echo "fault-session report is not deterministic" >&2
+        exit 1
+    }
+    echo "  fault-injected session reproducible (seed 3491: transcript + report)"
+    rm -rf "$dir"
+    echo "daemon smoke passed"
+}
+
+if [ "$DAEMON_SMOKE" -eq 1 ]; then
+    daemon_smoke
+    exit 0
+fi
+
 if [ "$TRACE_SMOKE" -eq 1 ]; then
     step "trace smoke (trace_record + trace_replay round trip, GCS_SCALE=test)"
     cargo build --release --bin trace_record --bin trace_replay
@@ -210,6 +271,7 @@ else
 fi
 
 shard_smoke
+daemon_smoke
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     step "bench smoke (scripts/bench.sh --smoke)"

@@ -1,0 +1,238 @@
+//! Adversarial property tests for the daemon frame protocol
+//! (`gcs_sched::proto`), in the style of the trace wire-format suite:
+//! seeded [`SimRng`] fuzzing, exhaustive truncation prefixes and
+//! single-bit corruption over every request/response shape. The
+//! invariant under attack is simple — **the decoder returns a typed
+//! [`ProtoError`], it never panics and never misinterprets a damaged
+//! frame as a different valid frame without the checksum catching it.**
+//!
+//! `--features proptest-tests` widens the fuzz sweep.
+
+use gcs_sched::proto::{
+    decode_frame, encode_frame, ProtoError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
+use gcs_sched::{Request, Response};
+use gcs_sim::rng::SimRng;
+use gcs_workloads::Benchmark;
+
+const CASES: usize = if cfg!(feature = "proptest-tests") { 400 } else { 64 };
+
+/// A zoo of representative frames: every request and response shape,
+/// including escapes, extremes and an empty-ish payload.
+fn sample_frames() -> Vec<Vec<u8>> {
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for req in [
+        Request::Submit {
+            id: 0,
+            bench: Benchmark::Gups,
+            at: 0,
+        },
+        Request::Submit {
+            id: u64::MAX,
+            bench: Benchmark::Bfs2,
+            at: u64::MAX,
+        },
+        Request::Status,
+        Request::Report,
+        Request::Drain,
+    ] {
+        frames.push(req.encode());
+    }
+    for resp in [
+        Response::Submitted { id: 3 },
+        Response::Rejected {
+            id: 9,
+            retry_after: 12_345,
+            draining: true,
+        },
+        Response::Status {
+            now: 1,
+            pending: 2,
+            running: 3,
+            completed: 4,
+            rejected: 5,
+            failed: 6,
+            degradations: 7,
+            draining: false,
+        },
+        Response::Report {
+            json: "{\n  \"jobs\": []\n}\n".into(),
+        },
+        Response::Drained {
+            json: "nested \"quotes\" and \\ slashes \t\r\n".into(),
+        },
+        Response::Error {
+            kind: "corrupt".into(),
+            detail: "ctl \u{1} byte".into(),
+            diag: Some("0/4 SMs enabled".into()),
+        },
+    ] {
+        frames.push(resp.encode());
+    }
+    frames
+}
+
+/// Every sample round-trips exactly through its own decoder.
+#[test]
+fn all_samples_round_trip() {
+    for frame in sample_frames() {
+        let payload = decode_frame(&frame).expect("valid frame");
+        // A valid frame is one of the two message kinds; decoding it
+        // as *some* typed message must succeed.
+        let req = Request::decode(&frame);
+        let resp = Response::decode(&frame);
+        assert!(
+            req.is_ok() || resp.is_ok(),
+            "undecodable valid frame: {payload:?}"
+        );
+    }
+}
+
+/// Every strict prefix of every sample frame decodes to `Truncated`
+/// with an accurate offset — the header is length-checked before the
+/// magic is even read — and never panics.
+#[test]
+fn every_truncation_prefix_is_typed() {
+    for frame in sample_frames() {
+        for cut in 0..frame.len() {
+            let prefix = &frame[..cut];
+            let err = decode_frame(prefix).expect_err("prefix must not decode");
+            match err {
+                ProtoError::Truncated { at, want } => {
+                    assert_eq!(at, cut.min(prefix.len()));
+                    assert!(want > 0);
+                }
+                other => panic!("prefix {cut}: unexpected {other:?}"),
+            }
+            // The typed message decoders hold the same contract.
+            assert!(Request::decode(prefix).is_err());
+            assert!(Response::decode(prefix).is_err());
+        }
+    }
+}
+
+/// Flipping any single bit of a frame yields a typed error or — only
+/// when the flip lands in an encoded length/id field in a way the
+/// checksum still catches — never a silently different message.
+#[test]
+fn every_single_bit_flip_is_caught_or_typed() {
+    for frame in sample_frames() {
+        let original_payload = decode_frame(&frame).expect("valid frame").to_vec();
+        for byte in 0..frame.len() {
+            for bit in 0..8u8 {
+                let mut bent = frame.clone();
+                bent[byte] ^= 1 << bit;
+                match decode_frame(&bent) {
+                    // Typed rejection: the common case.
+                    Err(
+                        ProtoError::BadMagic(_)
+                        | ProtoError::UnsupportedVersion(_)
+                        | ProtoError::Oversize { .. }
+                        | ProtoError::Truncated { .. }
+                        | ProtoError::Corrupt(_),
+                    ) => {}
+                    // A flip that decodes must not silently change the
+                    // payload (a flipped checksum bit cannot collide
+                    // with FNV-1a over an unchanged payload).
+                    Ok(payload) => {
+                        assert_eq!(
+                            payload, original_payload,
+                            "byte {byte} bit {bit}: silent payload change"
+                        );
+                        panic!("byte {byte} bit {bit}: corrupt frame decoded");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seeded random garbage — arbitrary lengths, arbitrary bytes — always
+/// produces a typed error, whatever decoder it is fed to.
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0xfee1_dead);
+    for case in 0..CASES {
+        let len = (rng.gen_range(96) as usize).min(95);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.gen_range(256)) as u8).collect();
+        if let Ok(payload) = decode_frame(&bytes) {
+            // Astronomically unlikely, but if it frames, the typed
+            // decoders must still answer without panicking.
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+            assert!(payload.len() <= MAX_FRAME_PAYLOAD, "case {case}");
+        }
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}
+
+/// Seeded random *JSON-shaped* payloads wrapped in valid frames: the
+/// framing layer passes them, the typed decoders reject them with
+/// `Corrupt` — never a panic, never a bogus accept.
+#[test]
+fn framed_garbage_payloads_are_corrupt_not_fatal() {
+    let mut rng = SimRng::seed_from_u64(0xbad_cafe);
+    let alphabet: &[u8] = b"{}[]\":,abcdefghijklmnop0123456789 \\\t\n\x7f";
+    for _ in 0..CASES {
+        let len = rng.gen_range(64) as usize;
+        let payload: Vec<u8> = (0..len)
+            .map(|_| alphabet[rng.gen_range(alphabet.len() as u64) as usize])
+            .collect();
+        let frame = encode_frame(&payload);
+        assert_eq!(decode_frame(&frame).expect("framing is sound"), &payload[..]);
+        // The overwhelming majority cannot be valid messages; all must
+        // fail *typed*.
+        if let Err(e) = Request::decode(&frame) {
+            assert!(matches!(e, ProtoError::Corrupt(_)), "unexpected {e:?}");
+        }
+        if let Err(e) = Response::decode(&frame) {
+            assert!(matches!(e, ProtoError::Corrupt(_)), "unexpected {e:?}");
+        }
+    }
+}
+
+/// Headers advertising hostile payload lengths are refused before any
+/// allocation could happen, with the length echoed in the error.
+#[test]
+fn hostile_lengths_are_refused_up_front() {
+    let frame = encode_frame(b"ok");
+    for hostile in [
+        MAX_FRAME_PAYLOAD + 1,
+        1 << 24,
+        u32::MAX as usize & 0x7fff_ffff,
+    ] {
+        let mut bent = frame.clone();
+        bent[8..12].copy_from_slice(&(hostile as u32).to_le_bytes());
+        match gcs_sched::proto::decode_header(&bent[..FRAME_HEADER_LEN]) {
+            Err(ProtoError::Oversize { len, max }) => {
+                assert_eq!(len, hostile);
+                assert_eq!(max, MAX_FRAME_PAYLOAD);
+            }
+            other => panic!("hostile len {hostile}: {other:?}"),
+        }
+    }
+}
+
+/// Error `kind()` strings are stable API — scripts and the CI smoke
+/// match on them.
+#[test]
+fn error_kinds_are_stable() {
+    let kinds: Vec<&str> = [
+        ProtoError::Truncated { at: 0, want: 1 },
+        ProtoError::BadMagic(*b"NOPE"),
+        ProtoError::UnsupportedVersion(9),
+        ProtoError::Oversize {
+            len: 2_000_000,
+            max: MAX_FRAME_PAYLOAD,
+        },
+        ProtoError::Corrupt("x".into()),
+    ]
+    .iter()
+    .map(ProtoError::kind)
+    .collect();
+    assert_eq!(
+        kinds,
+        ["truncated", "bad-magic", "unsupported-version", "oversize", "corrupt"]
+    );
+}
