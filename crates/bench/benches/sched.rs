@@ -15,6 +15,9 @@ use gcs_core::interference::InterferenceMatrix;
 use gcs_core::latency::NanoStats;
 use gcs_core::runner::{AllocationPolicy, Pipeline, RunConfig};
 use gcs_core::SweepEngine;
+use gcs_fleet::{
+    allocate, run_fleet, DeviceProfile, FleetMode, FleetPredictor, FleetRunConfig, FleetSpec,
+};
 use gcs_sched::{
     DaemonConfig, DaemonCore, Job, OnlineScheduler, OverloadPolicy, PolicyKind, Request, Response,
     SchedConfig,
@@ -172,4 +175,49 @@ fn main() {
             reps[0].count
         );
     }
+
+    // Fleet family: the marginal-gain allocator on a warmed predictor
+    // (pure curve arithmetic — must stay negligible next to a plan
+    // solve) and the full heterogeneous event loop with every profile
+    // and co-run served from the warm memo cache.
+    let spec = FleetSpec::new(vec![
+        DeviceProfile { id: "gpu8".into(), num_sms: 8 },
+        DeviceProfile { id: "gpu15".into(), num_sms: 15 },
+        DeviceProfile { id: "gpu30".into(), num_sms: 30 },
+    ])
+    .expect("fleet spec");
+    let fleet_p = pipeline();
+    let rc = fleet_p.config();
+    let predictor = FleetPredictor::warm(
+        fleet_p.engine(),
+        &rc.gpu,
+        rc.scale,
+        &spec,
+        &Benchmark::ALL,
+    )
+    .expect("warm predictor");
+    let all_devices: Vec<usize> = (0..spec.len()).collect();
+    bench("fleet/alloc/hetero3_census_14", || {
+        allocate(
+            &predictor,
+            &spec,
+            std::hint::black_box(&pending),
+            &all_devices,
+            2,
+        )
+        .placed()
+    });
+
+    let fleet_trace = ArrivalTrace::waves(&Benchmark::ALL, 3, 5, 40_000, 42);
+    let fleet_cfg = FleetRunConfig {
+        queue_capacity: fleet_trace.len(),
+        mode: FleetMode::MarginalGain,
+    };
+    // Warm the memo cache outside the timed region.
+    run_fleet(&fleet_p, &spec, &fleet_cfg, &fleet_trace).expect("warmup fleet run");
+    bench("fleet/loop/hetero3_waves15_warm_cache", || {
+        run_fleet(&fleet_p, &spec, &fleet_cfg, &fleet_trace)
+            .expect("fleet run")
+            .makespan
+    });
 }

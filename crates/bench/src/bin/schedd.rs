@@ -12,6 +12,10 @@
 //! Environment knobs (defaults in parentheses):
 //!
 //! * `GCS_SCHED_POLICY`    — `fcfs` | `greedy` | `ilp` (`ilp`)
+//! * `GCS_SCHED_FLEET`     — path to a `FleetSpec` JSON; serves the
+//!   heterogeneous fleet policy instead of `GCS_SCHED_POLICY` (the
+//!   report's policy name comes out `fleet`, or `ilp` for the
+//!   degenerate 1-device spec)
 //! * `GCS_SCHED_GPUS`      — simulated devices (`1`)
 //! * `GCS_SCHED_CAPACITY`  — admission queue bound (`16`)
 //! * `GCS_SCHED_READ_MS`   — per-connection read deadline in ms, `0`
@@ -28,7 +32,10 @@ use std::time::Duration;
 
 use gcs_bench::{build_pipeline, header};
 use gcs_core::runner::AllocationPolicy;
-use gcs_sched::{DaemonConfig, DaemonCore, OverloadPolicy, PolicyKind, SchedConfig, TcpAcceptor};
+use gcs_fleet::{FleetPolicy, FleetSpec};
+use gcs_sched::{
+    DaemonConfig, DaemonCore, OverloadPolicy, Policy, PolicyKind, SchedConfig, TcpAcceptor,
+};
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -77,14 +84,30 @@ fn main() {
     let addr = listener.local_addr().expect("local addr");
 
     let mut pipeline = build_pipeline(2);
-    let mut daemon =
-        DaemonCore::new(&mut pipeline, kind.build(), cfg).expect("daemon configuration");
+    // GCS_SCHED_FLEET overrides the policy kind with the heterogeneous
+    // fleet allocator loaded from a FleetSpec JSON file.
+    let policy: Box<dyn Policy> = match std::env::var("GCS_SCHED_FLEET") {
+        Ok(path) => {
+            let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("GCS_SCHED_FLEET={path:?}: cannot read spec: {e}");
+                std::process::exit(2);
+            });
+            let spec = FleetSpec::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("GCS_SCHED_FLEET={path:?}: invalid spec: {e}");
+                std::process::exit(2);
+            });
+            Box::new(FleetPolicy::new(spec))
+        }
+        Err(_) => kind.build(),
+    };
+    let policy_label = policy.name();
+    let mut daemon = DaemonCore::new(&mut pipeline, policy, cfg).expect("daemon configuration");
     let mut acceptor = TcpAcceptor::new(listener, read_deadline, Some(Duration::from_secs(10)));
 
     header("schedd: scheduler daemon");
     println!(
         "listening on {addr}; policy {}; {} device(s); capacity {}; read deadline {:?}",
-        kind.name(),
+        policy_label,
         cfg.sched.num_gpus,
         cfg.sched.queue_capacity,
         read_deadline,

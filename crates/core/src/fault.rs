@@ -32,6 +32,14 @@ pub enum Degradation {
         /// File name of the quarantined entry.
         file: String,
     },
+    /// The fleet allocator's throughput predictor found one or more
+    /// profile curves missing from the memo cache and planning fell
+    /// back to the per-device greedy pairing instead of simulating in
+    /// the plan path (the same ladder shape as ILP → greedy).
+    PredictorColdFallback {
+        /// Profile curves that were not yet memo-cached.
+        missing: usize,
+    },
     /// A scheduler under decision-latency pressure planned with a
     /// weaker strategy than configured (the overload ladder: full
     /// re-solve → cached-plan reuse → greedy grouping).
@@ -56,6 +64,9 @@ impl std::fmt::Display for Degradation {
             }
             Degradation::CacheQuarantined { file } => {
                 write!(f, "quarantined corrupt cache entry {file}")
+            }
+            Degradation::PredictorColdFallback { missing } => {
+                write!(f, "fleet predictor cold ({missing} curves unprofiled); planned greedy")
             }
             Degradation::OverloadShed { from, to, pending } => {
                 write!(f, "overload: {from} planning shed to {to} with {pending} pending")

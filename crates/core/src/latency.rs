@@ -75,6 +75,84 @@ impl std::fmt::Display for NanoStats {
     }
 }
 
+/// Sliding-window variant of [`NanoStats`]: a fixed-capacity ring of
+/// the most recent samples, summarized on demand with the identical
+/// nearest-rank estimator.
+///
+/// Groundwork for decision-latency SLO enforcement (shed load when the
+/// p99 *over a window* exceeds a target, not when the queue is deep):
+/// the batch summary answers "how did this session do", the window
+/// answers "how are we doing right now". While fewer than `capacity`
+/// samples have been pushed the window is exactly the batch set, so
+/// [`WindowedNanoStats::stats`] agrees with
+/// [`NanoStats::from_samples`] byte-for-byte on identical inputs.
+#[derive(Debug, Clone)]
+pub struct WindowedNanoStats {
+    ring: Vec<u64>,
+    capacity: usize,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    /// Lifetime sample count (saturating at usize::MAX).
+    pushed: usize,
+}
+
+impl WindowedNanoStats {
+    /// An empty window keeping the most recent `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity — a window that can hold nothing can
+    /// answer nothing.
+    pub fn new(capacity: usize) -> WindowedNanoStats {
+        assert!(capacity > 0, "window capacity must be at least 1");
+        WindowedNanoStats {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Records one sample, evicting the oldest once the ring is full.
+    pub fn push(&mut self, sample_ns: u64) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(sample_ns);
+        } else {
+            self.ring[self.head] = sample_ns;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed = self.pushed.saturating_add(1);
+    }
+
+    /// Samples currently in the window (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Lifetime samples pushed, including evicted ones.
+    pub fn total_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Nearest-rank summary over the samples currently in the window —
+    /// the same estimator as [`NanoStats::from_samples`], so the two
+    /// agree exactly whenever the window still holds every sample.
+    pub fn stats(&self) -> NanoStats {
+        NanoStats::from_samples(&self.ring)
+    }
+
+    /// Windowed p99 in nanoseconds: the SLO-facing number. 0 while
+    /// empty.
+    pub fn p99_ns(&self) -> u64 {
+        self.stats().p99_ns
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +186,55 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("n=3"));
         assert!(text.contains("p99=30ns"));
+    }
+
+    #[test]
+    fn window_matches_batch_until_eviction() {
+        // Deterministic but unsorted sample stream.
+        let samples: Vec<u64> = (0..128u64).map(|i| (i * 7919) % 1000).collect();
+        let mut w = WindowedNanoStats::new(128);
+        for (i, &s) in samples.iter().enumerate() {
+            w.push(s);
+            // Window still holds everything: identical to the batch
+            // summary over the same prefix, field for field.
+            assert_eq!(w.stats(), NanoStats::from_samples(&samples[..=i]));
+        }
+        assert_eq!(w.len(), 128);
+        assert_eq!(w.total_pushed(), 128);
+    }
+
+    #[test]
+    fn window_evicts_oldest_first() {
+        let mut w = WindowedNanoStats::new(4);
+        for s in [100, 200, 300, 400, 500, 600] {
+            w.push(s);
+        }
+        // Only the last 4 samples remain.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.total_pushed(), 6);
+        assert_eq!(w.stats(), NanoStats::from_samples(&[300, 400, 500, 600]));
+        assert_eq!(w.stats().max_ns, 600);
+        assert_eq!(w.p99_ns(), 600);
+    }
+
+    #[test]
+    fn window_p99_tracks_recent_regressions() {
+        let mut w = WindowedNanoStats::new(8);
+        for _ in 0..64 {
+            w.push(10);
+        }
+        assert_eq!(w.p99_ns(), 10);
+        // A burst of slow decisions dominates the window immediately,
+        // long before it would move a lifetime percentile.
+        for _ in 0..8 {
+            w.push(10_000);
+        }
+        assert_eq!(w.p99_ns(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn zero_capacity_window_is_rejected() {
+        let _ = WindowedNanoStats::new(0);
     }
 }

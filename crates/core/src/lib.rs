@@ -64,7 +64,7 @@ pub mod sweep;
 pub use classify::{classify, classify_suite, AppClass, Thresholds};
 pub use fault::{Degradation, RetryPolicy};
 pub use interference::InterferenceMatrix;
-pub use latency::NanoStats;
+pub use latency::{NanoStats, WindowedNanoStats};
 pub use profile::AppProfile;
 pub use sweep::{SweepEngine, SweepStats, Workload};
 

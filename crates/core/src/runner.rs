@@ -641,8 +641,18 @@ fn resolve_workload(
     }
 }
 
-/// Linear interpolation over a measured `(sms, ipc)` curve.
-fn interpolate(curve: &[(u32, f64)], sms: u32) -> f64 {
+/// Linear interpolation over a measured, ascending `(sms, value)`
+/// curve: exact at sample points, linear between them, proportional
+/// extrapolation below the first sample and clamped above the last.
+///
+/// Deterministic for a given curve — the fleet predictor leans on this
+/// for bit-identical budget plans across sweep thread counts.
+///
+/// # Panics
+///
+/// Debug-asserts a non-empty curve; on an empty curve in release the
+/// final `expect` panics.
+pub fn interpolate(curve: &[(u32, f64)], sms: u32) -> f64 {
     debug_assert!(!curve.is_empty());
     if sms <= curve[0].0 {
         // Extrapolate proportionally below the first sample.

@@ -648,6 +648,31 @@ impl SweepEngine {
         Ok(p)
     }
 
+    /// Cache-only probe of [`SweepEngine::profile_workload`]: returns
+    /// the memoized profile if (and only if) the exact `(workload,
+    /// num_sms, config, scale)` entry is already in the in-process map
+    /// or the on-disk cache, and **never simulates**. A miss returns
+    /// `None` and leaves the engine untouched — no counters move, so
+    /// `jobs_simulated` stays an honest record of simulation work.
+    ///
+    /// This is the predictor-facing entry point for planners that must
+    /// stay cheap in the plan path (e.g. the fleet allocator): a warm
+    /// cache serves every curve point for free, and a cold cache is a
+    /// signal to degrade rather than a license to simulate.
+    pub fn profile_workload_cached(
+        &self,
+        cfg: &GpuConfig,
+        scale: Scale,
+        workload: &Workload,
+        num_sms: u32,
+    ) -> Option<AppProfile> {
+        let key = workload_profile_key(cfg, scale, &workload.key_token(), num_sms);
+        let fields = self.lookup(fnv1a(&key), &key)?;
+        let mut p = decode_profile(&fields)?;
+        p.name = workload.name();
+        Some(p)
+    }
+
     /// Full-device alone profiles for `suite`, one parallel batch.
     ///
     /// # Errors

@@ -1,0 +1,181 @@
+//! [`FleetPolicy`] — the fleet allocator as a pluggable scheduling
+//! policy.
+//!
+//! Plugs into the existing `EventCore`/`DaemonCore` epoch-plan path
+//! next to `Fcfs`/`GreedyClass`/`IlpEpoch`. At each epoch it probes
+//! the memo cache for the predictor curves of the pending census
+//! (never simulating in the plan path) and, when complete, runs the
+//! marginal-gain allocator in waves until every pending job is
+//! grouped. On a cold cache it degrades to the per-device greedy
+//! class pairing — the same ladder shape as ILP → greedy — and
+//! records a [`Degradation::PredictorColdFallback`].
+//!
+//! Two deliberate equivalences:
+//!
+//! * **Degenerate fleet.** A 1-device fleet *is* the single-GPU
+//!   scheduler, so the policy delegates to [`IlpEpoch`] outright —
+//!   including its name — and the report comes out byte-identical to
+//!   a plain `IlpEpoch` run (`tests/fleet.rs` pins the bytes).
+//! * **Grouping vs budgeting.** `EventCore` dispatches groups onto
+//!   identical devices and applies its own SM allocation; through
+//!   this path the fleet plan contributes *who co-runs together*
+//!   (budget-aware grouping), while the per-device SM budgets
+//!   themselves are honored by the heterogeneous
+//!   [`run_fleet`](crate::run::run_fleet) loop.
+//!
+//! Cross-epoch allocation churn (jobs whose assigned device changed
+//! between consecutive plans) is tracked in shared
+//! [`FleetPolicyStats`], reachable through a handle because the
+//! daemon takes ownership of the boxed policy.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use gcs_core::runner::Pipeline;
+use gcs_core::{CoreError, Degradation};
+use gcs_sched::policy::ids_for_groups;
+use gcs_sched::{IlpEpoch, Job, JobId, Plan, Policy};
+use gcs_workloads::Benchmark;
+
+use crate::alloc::allocate;
+use crate::predict::FleetPredictor;
+use crate::spec::FleetSpec;
+
+/// Counters a [`FleetPolicy`] accumulates across plans, shared through
+/// [`FleetPolicy::stats_handle`] so they stay readable after the
+/// daemon takes ownership of the boxed policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetPolicyStats {
+    /// Plan calls served (degenerate delegation included).
+    pub plans: u64,
+    /// Plans degraded to greedy because predictor curves were not yet
+    /// memo-cached.
+    pub cold_fallbacks: u64,
+    /// Jobs whose assigned device changed between consecutive plans —
+    /// the allocation-churn count the fleet report surfaces.
+    pub churn: u64,
+}
+
+/// Marginal-gain fleet allocation as an epoch policy.
+pub struct FleetPolicy {
+    spec: FleetSpec,
+    ilp: IlpEpoch,
+    predictor: FleetPredictor,
+    stats: Arc<Mutex<FleetPolicyStats>>,
+    last_device: BTreeMap<JobId, usize>,
+}
+
+impl FleetPolicy {
+    /// A policy scheduling onto `spec`'s devices.
+    pub fn new(spec: FleetSpec) -> FleetPolicy {
+        FleetPolicy {
+            spec,
+            ilp: IlpEpoch,
+            predictor: FleetPredictor::new(),
+            stats: Arc::new(Mutex::new(FleetPolicyStats::default())),
+            last_device: BTreeMap::new(),
+        }
+    }
+
+    /// The fleet this policy schedules onto.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Shared counters; clone survives handing the policy to a daemon.
+    pub fn stats_handle(&self) -> Arc<Mutex<FleetPolicyStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A 1-device fleet delegates wholesale to [`IlpEpoch`].
+    fn degenerate(&self) -> bool {
+        self.spec.len() == 1
+    }
+}
+
+impl Policy for FleetPolicy {
+    fn name(&self) -> &'static str {
+        // The degenerate fleet *is* the single-GPU scheduler; naming
+        // it "ilp" keeps the report byte-identical to an IlpEpoch run
+        // (the equivalence pin in tests/fleet.rs).
+        if self.degenerate() {
+            "ilp"
+        } else {
+            "fleet"
+        }
+    }
+
+    fn plan(&mut self, pipeline: &Pipeline, pending: &[Job]) -> Result<Plan, CoreError> {
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.plans += 1;
+        }
+        if self.degenerate() {
+            return self.ilp.plan(pipeline, pending);
+        }
+        if pending.is_empty() {
+            return Ok(Plan {
+                groups: Vec::new(),
+                degradations: Vec::new(),
+            });
+        }
+
+        let cfg = pipeline.config();
+        let census: BTreeSet<Benchmark> = pending.iter().map(|j| j.bench).collect();
+        let census: Vec<Benchmark> = census.into_iter().collect();
+        let missing = self.predictor.probe_merge(
+            pipeline.engine(),
+            &cfg.gpu,
+            cfg.scale,
+            &self.spec,
+            &census,
+        );
+        if missing > 0 {
+            // Cold cache: degrade to the class-aware greedy pairing
+            // instead of simulating inside a scheduling decision.
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.cold_fallbacks += 1;
+            let benches: Vec<Benchmark> = pending.iter().map(|j| j.bench).collect();
+            let groups = pipeline.group_greedy_class(&benches);
+            return Ok(Plan {
+                groups: ids_for_groups(pending, &groups),
+                degradations: vec![Degradation::PredictorColdFallback { missing }],
+            });
+        }
+
+        // Warm path: allocate in waves over the whole fleet until every
+        // pending job is grouped (the Plan contract). Each wave places
+        // at least one job, so this terminates.
+        let all_devices: Vec<usize> = (0..self.spec.len()).collect();
+        let max_group = cfg.concurrency.max(1) as usize;
+        let mut remaining: Vec<Job> = pending.to_vec();
+        let mut groups: Vec<Vec<JobId>> = Vec::new();
+        let mut mapping: BTreeMap<JobId, usize> = BTreeMap::new();
+        while !remaining.is_empty() {
+            let plan = allocate(&self.predictor, &self.spec, &remaining, &all_devices, max_group);
+            assert!(plan.placed() > 0, "a non-empty fleet must place at least one job");
+            for a in &plan.assignments {
+                for &id in &a.jobs {
+                    mapping.insert(id, a.device);
+                }
+                groups.push(a.jobs.clone());
+            }
+            remaining.retain(|j| !mapping.contains_key(&j.id));
+        }
+
+        let churn = mapping
+            .iter()
+            .filter(|(id, d)| self.last_device.get(id).is_some_and(|prev| prev != *d))
+            .count() as u64;
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.churn += churn;
+        }
+        self.last_device = mapping;
+
+        Ok(Plan {
+            groups,
+            degradations: Vec::new(),
+        })
+    }
+}

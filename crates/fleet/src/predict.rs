@@ -1,0 +1,266 @@
+//! Per-device throughput prediction from memo-cached profile curves.
+//!
+//! For every distinct device capacity `n` in the fleet and every
+//! benchmark in play, the predictor holds a normalized-throughput
+//! curve over SM budgets: `rate(s) = cycles(n) / cycles(s)` from the
+//! existing alone-run profiles (`profile_with_sms` through the sweep
+//! engine's memo cache), sampled on the same six-point grid the
+//! pipeline's scalability curves use and linearly interpolated between
+//! samples ([`gcs_core::runner::interpolate`]). `rate` is 1.0 at the
+//! full device by construction and the marginal gain
+//! `rate(s+1) − rate(s)` is what the allocator maximizes.
+//!
+//! Two ways in:
+//!
+//! * [`FleetPredictor::warm`] simulates (or replays from cache) every
+//!   curve point up front — the runner's path. Warm starts replay with
+//!   zero newly simulated jobs; `tests/fleet.rs` pins this.
+//! * [`FleetPredictor::probe_merge`] is **cache-only**
+//!   ([`SweepEngine::profile_workload_cached`]): the plan-path entry
+//!   point, which must never hide a simulation inside a scheduling
+//!   decision. Missing curves are reported so the caller can degrade
+//!   to greedy planning, mirroring the ILP → greedy ladder.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gcs_core::runner::interpolate;
+use gcs_core::{CoreError, SweepEngine, Workload};
+use gcs_sim::config::GpuConfig;
+use gcs_workloads::{Benchmark, Scale};
+
+use crate::spec::FleetSpec;
+
+/// One `(device capacity, benchmark)` scalability record.
+#[derive(Debug, Clone)]
+struct Curve {
+    /// Ascending `(budget_sms, rate)` samples; last point is
+    /// `(capacity, 1.0)`.
+    points: Vec<(u32, f64)>,
+    /// Alone-run cycles on the full device — the STP/ANTT reference.
+    full_cycles: u64,
+}
+
+/// Normalized-throughput curves for every `(capacity, benchmark)` pair
+/// the fleet can schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FleetPredictor {
+    curves: BTreeMap<(u32, Benchmark), Curve>,
+}
+
+/// The SM-budget sample grid for a device of `capacity` SMs — the same
+/// six relative points the pipeline's `ensure_curve` uses, deduped and
+/// clamped to ≥ 1.
+pub fn budget_grid(capacity: u32) -> Vec<u32> {
+    let n = capacity;
+    let mut grid: Vec<u32> = [n / 6, n / 3, n / 2, 2 * n / 3, 5 * n / 6, n]
+        .into_iter()
+        .map(|x| x.max(1))
+        .collect();
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// Distinct device capacities of `spec`, ascending.
+fn capacities(spec: &FleetSpec) -> Vec<u32> {
+    let set: BTreeSet<u32> = spec.devices().iter().map(|d| d.num_sms).collect();
+    set.into_iter().collect()
+}
+
+/// The shared base config resized to `capacity` SMs.
+fn capacity_config(base: &GpuConfig, capacity: u32) -> GpuConfig {
+    let mut cfg = base.clone();
+    cfg.num_sms = capacity;
+    cfg
+}
+
+impl FleetPredictor {
+    /// An empty predictor (no curves; every probe reports misses).
+    pub fn new() -> FleetPredictor {
+        FleetPredictor::default()
+    }
+
+    /// Profiles every `(capacity, bench)` curve for `spec` ×
+    /// `benches`, fanning the grid points across the engine's workers.
+    /// Every point goes through the memo cache, so a second warm with
+    /// the same cache directory replays without simulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first profiling failure (by job index).
+    pub fn warm(
+        engine: &SweepEngine,
+        base: &GpuConfig,
+        scale: Scale,
+        spec: &FleetSpec,
+        benches: &[Benchmark],
+    ) -> Result<FleetPredictor, CoreError> {
+        let caps = capacities(spec);
+        let mut jobs: Vec<(u32, Benchmark, u32)> = Vec::new();
+        for &cap in &caps {
+            for &bench in benches {
+                for sms in budget_grid(cap) {
+                    jobs.push((cap, bench, sms));
+                }
+            }
+        }
+        let cycles: Vec<u64> = engine.run_parallel(jobs.len(), |i| {
+            let (cap, bench, sms) = jobs[i];
+            let cfg = capacity_config(base, cap);
+            engine
+                .profile_workload(&cfg, scale, &Workload::Bench(bench), sms)
+                .map(|p| p.cycles)
+        })?;
+        let mut predictor = FleetPredictor::new();
+        let mut at = 0usize;
+        for &cap in &caps {
+            for &bench in benches {
+                let grid = budget_grid(cap);
+                let sampled: Vec<(u32, u64)> = grid
+                    .iter()
+                    .map(|&sms| {
+                        let c = cycles[at];
+                        at += 1;
+                        (sms, c)
+                    })
+                    .collect();
+                predictor.insert(cap, bench, &sampled);
+            }
+        }
+        Ok(predictor)
+    }
+
+    /// Cache-only completion: for every `(capacity, bench)` curve of
+    /// `spec` × `benches` not yet held, probes the memo cache for all
+    /// its grid points ([`SweepEngine::profile_workload_cached`] —
+    /// never simulates) and merges complete curves in. Returns how
+    /// many curves are still missing; 0 means the predictor can serve
+    /// every rate the allocator will ask for.
+    pub fn probe_merge(
+        &mut self,
+        engine: &SweepEngine,
+        base: &GpuConfig,
+        scale: Scale,
+        spec: &FleetSpec,
+        benches: &[Benchmark],
+    ) -> usize {
+        let mut missing = 0usize;
+        for cap in capacities(spec) {
+            let cfg = capacity_config(base, cap);
+            for &bench in benches {
+                if self.curves.contains_key(&(cap, bench)) {
+                    continue;
+                }
+                let sampled: Option<Vec<(u32, u64)>> = budget_grid(cap)
+                    .into_iter()
+                    .map(|sms| {
+                        engine
+                            .profile_workload_cached(&cfg, scale, &Workload::Bench(bench), sms)
+                            .map(|p| (sms, p.cycles))
+                    })
+                    .collect();
+                match sampled {
+                    Some(s) => self.insert(cap, bench, &s),
+                    None => missing += 1,
+                }
+            }
+        }
+        missing
+    }
+
+    /// Builds and stores the rate curve from `(sms, cycles)` samples.
+    /// Crate-visible so allocator unit tests can install synthetic
+    /// curves.
+    pub(crate) fn insert(&mut self, cap: u32, bench: Benchmark, sampled: &[(u32, u64)]) {
+        let full_cycles = sampled.last().expect("non-empty grid").1;
+        let points: Vec<(u32, f64)> = sampled
+            .iter()
+            .map(|&(sms, cycles)| (sms, full_cycles as f64 / cycles.max(1) as f64))
+            .collect();
+        self.curves.insert((cap, bench), Curve { points, full_cycles });
+    }
+
+    /// Whether the curve for (`capacity`, `bench`) is loaded.
+    pub fn has(&self, capacity: u32, bench: Benchmark) -> bool {
+        self.curves.contains_key(&(capacity, bench))
+    }
+
+    /// Curves currently loaded.
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// True while no curve is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+
+    /// Predicted normalized throughput of `bench` with a `budget_sms`
+    /// budget on a `capacity`-SM device: exact at grid points, linear
+    /// between them, 1.0 at the full device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve was never loaded — allocation must only
+    /// run over a complete predictor (that is what
+    /// [`FleetPredictor::probe_merge`]'s missing count gates).
+    pub fn rate(&self, capacity: u32, bench: Benchmark, budget_sms: u32) -> f64 {
+        let curve = self
+            .curves
+            .get(&(capacity, bench))
+            .unwrap_or_else(|| panic!("no curve for {bench} at {capacity} SMs"));
+        interpolate(&curve.points, budget_sms)
+    }
+
+    /// Alone-run cycles of `bench` on the full `capacity`-SM device —
+    /// the reference for STP and ANTT on that device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve was never loaded (see
+    /// [`FleetPredictor::rate`]).
+    pub fn full_cycles(&self, capacity: u32, bench: Benchmark) -> u64 {
+        self.curves
+            .get(&(capacity, bench))
+            .unwrap_or_else(|| panic!("no curve for {bench} at {capacity} SMs"))
+            .full_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_ascending_deduped_and_ends_at_capacity() {
+        assert_eq!(budget_grid(30), vec![5, 10, 15, 20, 25, 30]);
+        assert_eq!(budget_grid(8), vec![1, 2, 4, 5, 6, 8]);
+        assert_eq!(budget_grid(1), vec![1]);
+        for cap in 1..64 {
+            let g = budget_grid(cap);
+            assert_eq!(*g.last().unwrap(), cap);
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn rate_is_one_at_full_device_and_interpolates_between() {
+        let mut p = FleetPredictor::new();
+        // Synthetic cycles: halving the SMs doubles the runtime up to a
+        // knee, then saturates.
+        p.insert(8, Benchmark::Gups, &[(1, 800), (2, 400), (4, 200), (8, 100)]);
+        assert!((p.rate(8, Benchmark::Gups, 8) - 1.0).abs() < 1e-12);
+        assert!((p.rate(8, Benchmark::Gups, 4) - 0.5).abs() < 1e-12);
+        // Linear between samples: rate(6) = midpoint of 0.5 and 1.0.
+        assert!((p.rate(8, Benchmark::Gups, 6) - 0.75).abs() < 1e-12);
+        assert_eq!(p.full_cycles(8, Benchmark::Gups), 100);
+        assert!(p.has(8, Benchmark::Gups));
+        assert!(!p.has(15, Benchmark::Gups));
+    }
+
+    #[test]
+    #[should_panic(expected = "no curve")]
+    fn missing_curve_is_a_loud_bug_not_a_guess() {
+        FleetPredictor::new().rate(8, Benchmark::Gups, 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! [`FleetReport`] — canonical, byte-stable JSON over a fleet run.
+//!
+//! Same rendering discipline as `gcs_sched`'s `SchedReport`: stable
+//! key order, one line per row, floats in Rust's shortest-round-trip
+//! form with a guaranteed decimal point. Identical runs render
+//! byte-identically (the thread-count determinism pin in
+//! `tests/fleet.rs` compares these strings with `==`), and the CI
+//! fleet smoke re-runs and byte-diffs the committed artifacts.
+
+use gcs_core::Degradation;
+use gcs_sched::{JobId, Rejection};
+use gcs_workloads::Benchmark;
+
+/// Per-device utilization row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetDevice {
+    /// Device id from the [`FleetSpec`](crate::spec::FleetSpec).
+    pub id: String,
+    /// SM capacity.
+    pub num_sms: u32,
+    /// Groups this device ran.
+    pub groups: u64,
+    /// Cycles the device held a group (Σ group makespans).
+    pub busy_cycles: u64,
+}
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetJob {
+    /// Trace-order id.
+    pub id: JobId,
+    /// Benchmark the job ran.
+    pub bench: Benchmark,
+    /// Device index the job ran on.
+    pub device: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Dispatch cycle.
+    pub dispatch: u64,
+    /// Completion cycle.
+    pub completion: u64,
+    /// SM budget the allocator granted.
+    pub budget_sms: u32,
+    /// Alone-run cycles on the job's device at full capacity — the
+    /// STP/ANTT reference.
+    pub alone_cycles: u64,
+    /// Measured co-run cycles at the granted budget.
+    pub corun_cycles: u64,
+}
+
+impl FleetJob {
+    /// (completion − arrival) / alone — the ANTT contribution,
+    /// queueing delay included.
+    pub fn normalized_turnaround(&self) -> f64 {
+        (self.completion - self.arrival) as f64 / self.alone_cycles.max(1) as f64
+    }
+}
+
+/// One dispatched co-run group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetGroup {
+    /// Device index the group ran on.
+    pub device: usize,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Cycle the device freed (start + group makespan).
+    pub end: u64,
+    /// Member job ids, seeding order.
+    pub jobs: Vec<JobId>,
+    /// Σ alone/corun over members — the paper's per-group STP on this
+    /// device.
+    pub stp: f64,
+}
+
+/// Full record of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// `"fleet"` (marginal-gain budgeting) or `"fcfs"` (whole-device
+    /// baseline).
+    pub mode: String,
+    /// Admission-queue bound in force.
+    pub queue_capacity: usize,
+    /// Per-device utilization rows, spec order.
+    pub devices: Vec<FleetDevice>,
+    /// Completed jobs, sorted by id.
+    pub jobs: Vec<FleetJob>,
+    /// Arrivals bounced off the full queue.
+    pub rejections: Vec<Rejection>,
+    /// Dispatched groups, dispatch order.
+    pub groups: Vec<FleetGroup>,
+    /// Downgrades taken while planning.
+    pub degradations: Vec<Degradation>,
+    /// Jobs whose (shadow-)planned device changed between consecutive
+    /// allocation epochs.
+    pub churn: u64,
+    /// Cycle the last group ended.
+    pub makespan: u64,
+}
+
+impl FleetReport {
+    /// Cross-device system throughput: mean over dispatched groups of
+    /// Σ alone/corun. The whole-device FCFS baseline scores exactly
+    /// 1.0 per group, so "beats FCFS" means this exceeds 1.0.
+    pub fn stp(&self) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.groups.iter().map(|g| g.stp).sum::<f64>() / self.groups.len() as f64
+    }
+
+    /// Average normalized turnaround time across devices, queueing
+    /// delay included. 0 when nothing ran.
+    pub fn antt(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(FleetJob::normalized_turnaround)
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Fraction of the run a device spent busy (0 when nothing ran).
+    pub fn utilization(&self, device: usize) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.devices[device].busy_cycles as f64 / self.makespan as f64
+    }
+
+    /// Canonical JSON rendering; see the module docs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.jobs.len() * 160);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", esc(&self.mode)));
+        s.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        s.push_str(&format!("  \"makespan\": {},\n", self.makespan));
+        s.push_str(&format!("  \"stp\": {},\n", fmt_f64(self.stp())));
+        s.push_str(&format!("  \"antt\": {},\n", fmt_f64(self.antt())));
+        s.push_str(&format!("  \"churn\": {},\n", self.churn));
+
+        s.push_str("  \"devices\": [");
+        for (i, d) in self.devices.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"id\":\"{}\",\"num_sms\":{},\"groups\":{},\"busy_cycles\":{},\"utilization\":{}}}",
+                esc(&d.id),
+                d.num_sms,
+                d.groups,
+                d.busy_cycles,
+                fmt_f64(self.utilization(i)),
+            ));
+        }
+        s.push_str(if self.devices.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"jobs\": [");
+        for (i, j) in self.jobs.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"id\":{},\"bench\":\"{}\",\"device\":{},\"arrival\":{},\"dispatch\":{},\"completion\":{},\"budget_sms\":{},\"alone_cycles\":{},\"corun_cycles\":{}}}",
+                j.id, j.bench, j.device, j.arrival, j.dispatch, j.completion,
+                j.budget_sms, j.alone_cycles, j.corun_cycles,
+            ));
+        }
+        s.push_str(if self.jobs.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"groups\": [");
+        for (i, g) in self.groups.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let ids: Vec<String> = g.jobs.iter().map(|id| id.to_string()).collect();
+            s.push_str(&format!(
+                "    {{\"device\":{},\"start\":{},\"end\":{},\"jobs\":[{}],\"stp\":{}}}",
+                g.device,
+                g.start,
+                g.end,
+                ids.join(","),
+                fmt_f64(g.stp),
+            ));
+        }
+        s.push_str(if self.groups.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"rejections\": [");
+        for (i, r) in self.rejections.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"job\":{},\"bench\":\"{}\",\"at\":{},\"capacity\":{}}}",
+                r.job, r.bench, r.at, r.capacity,
+            ));
+        }
+        s.push_str(if self.rejections.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"degradations\": [");
+        for (i, d) in self.degradations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!("    \"{}\"", esc(&d.to_string())));
+        }
+        s.push_str(if self.degradations.is_empty() { "]\n" } else { "\n  ]\n" });
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Shortest-round-trip float rendering with a guaranteed decimal point
+/// (same contract as `SchedReport`'s).
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FleetReport {
+        FleetReport {
+            mode: "fleet".into(),
+            queue_capacity: 4,
+            devices: vec![
+                FleetDevice { id: "gpu0".into(), num_sms: 8, groups: 1, busy_cycles: 50 },
+                FleetDevice { id: "gpu1".into(), num_sms: 15, groups: 0, busy_cycles: 0 },
+            ],
+            jobs: vec![FleetJob {
+                id: 0,
+                bench: Benchmark::Gups,
+                device: 0,
+                arrival: 0,
+                dispatch: 10,
+                completion: 60,
+                budget_sms: 5,
+                alone_cycles: 40,
+                corun_cycles: 50,
+            }],
+            rejections: vec![],
+            groups: vec![FleetGroup {
+                device: 0,
+                start: 10,
+                end: 60,
+                jobs: vec![0],
+                stp: 0.8,
+            }],
+            degradations: vec![],
+            churn: 2,
+            makespan: 100,
+        }
+    }
+
+    #[test]
+    fn metrics_follow_the_paper_shapes() {
+        let r = report();
+        assert!((r.stp() - 0.8).abs() < 1e-12);
+        assert!((r.antt() - 1.5).abs() < 1e-12);
+        assert!((r.utilization(0) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(1), 0.0);
+    }
+
+    #[test]
+    fn json_is_canonical_and_stable() {
+        let r = report();
+        let j = r.to_json();
+        assert_eq!(j, r.clone().to_json(), "deterministic rendering");
+        assert!(j.starts_with("{\n  \"mode\": \"fleet\",\n"));
+        assert!(j.contains("\"utilization\":0.5"));
+        assert!(j.contains("\"budget_sms\":5"));
+        assert!(j.contains("\"rejections\": []"));
+        assert!(j.ends_with("\"degradations\": []\n}\n"));
+        // Floats always carry a decimal point.
+        assert!(j.contains("\"stp\": 0.8"));
+        assert!(j.contains("\"antt\": 1.5"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let r = FleetReport {
+            mode: "fleet".into(),
+            queue_capacity: 1,
+            devices: vec![],
+            jobs: vec![],
+            rejections: vec![],
+            groups: vec![],
+            degradations: vec![],
+            churn: 0,
+            makespan: 0,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"devices\": [],\n"));
+        assert!(j.contains("\"jobs\": [],\n"));
+        assert_eq!(r.stp(), 0.0);
+        assert_eq!(r.antt(), 0.0);
+    }
+}

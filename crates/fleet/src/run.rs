@@ -1,0 +1,377 @@
+//! The heterogeneous fleet event loop.
+//!
+//! `EventCore` dispatches interchangeable groups onto identical
+//! devices, so it cannot express "this group was budgeted for the
+//! 30-SM device". [`run_fleet`] is the loop that can: same
+//! discrete-event discipline and tie order as `EventCore`
+//! (completions → admissions → dispatch, dispatch deferred until time
+//! advances), but each allocation targets concrete devices and each
+//! measurement runs on that device's [`GpuConfig`] with the granted
+//! per-job SM budgets ([`CorunMode::Counts`]) through the memoized
+//! sweep engine — so warm reruns replay without simulation and
+//! results are bit-identical across sweep thread counts.
+//!
+//! Two modes share the loop so the comparison is apples-to-apples:
+//!
+//! * [`FleetMode::MarginalGain`] — the Optimus-style allocator
+//!   ([`allocate`]) over a warmed [`FleetPredictor`].
+//! * [`FleetMode::WholeDeviceFcfs`] — the naive baseline: front job,
+//!   whole device, no co-running. Its per-group STP is exactly 1.0 by
+//!   construction, which makes "fleet beats FCFS on cross-device STP"
+//!   a crisp, pinnable claim.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gcs_core::runner::Pipeline;
+use gcs_core::sweep::CorunMode;
+use gcs_core::{CoreError, SweepEngine, Workload};
+use gcs_sim::config::GpuConfig;
+use gcs_sched::{AdmissionQueue, Job, JobId, Rejection};
+use gcs_workloads::{ArrivalTrace, Benchmark, Scale};
+
+use crate::alloc::allocate;
+use crate::predict::FleetPredictor;
+use crate::report::{FleetDevice, FleetGroup, FleetJob, FleetReport};
+use crate::spec::FleetSpec;
+
+/// Which allocator drives the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetMode {
+    /// Marginal-gain SM budgeting with co-running (the subsystem under
+    /// test).
+    MarginalGain,
+    /// One job per device at full capacity, FCFS — the naive baseline.
+    WholeDeviceFcfs,
+}
+
+impl FleetMode {
+    /// Short tag used in report `mode` fields and result file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FleetMode::MarginalGain => "fleet",
+            FleetMode::WholeDeviceFcfs => "fcfs",
+        }
+    }
+}
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRunConfig {
+    /// Admission-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Allocator driving dispatch.
+    pub mode: FleetMode,
+}
+
+/// Runs `trace` over `spec`'s devices and reports.
+///
+/// The pipeline supplies the shared base [`GpuConfig`], scale,
+/// per-device group-size bound (its `concurrency`) and the memoized
+/// engine; the predictor is warmed up front (every curve point through
+/// the memo cache), so scheduling decisions inside the loop never
+/// simulate anything that is not a dispatched group.
+///
+/// # Errors
+///
+/// Propagates profiling/co-run simulation failures ([`CoreError`]).
+///
+/// # Panics
+///
+/// Panics on internal invariant violations (a job waiting with every
+/// device idle — impossible for a validated non-empty spec).
+pub fn run_fleet(
+    pipeline: &Pipeline,
+    spec: &FleetSpec,
+    cfg: &FleetRunConfig,
+    trace: &ArrivalTrace,
+) -> Result<FleetReport, CoreError> {
+    let rc = pipeline.config();
+    let census: BTreeSet<Benchmark> = trace.arrivals().iter().map(|a| a.bench).collect();
+    let census: Vec<Benchmark> = census.into_iter().collect();
+    let predictor = FleetPredictor::warm(pipeline.engine(), &rc.gpu, rc.scale, spec, &census)?;
+    let mut exec = Exec {
+        engine: pipeline.engine(),
+        base: &rc.gpu,
+        scale: rc.scale,
+        spec,
+        predictor,
+        mode: cfg.mode,
+        max_group: rc.concurrency.max(1) as usize,
+        queue: AdmissionQueue::new(cfg.queue_capacity),
+        busy: vec![None; spec.len()],
+        now: 0,
+        settled: true,
+        jobs: Vec::new(),
+        groups: Vec::new(),
+        rejections: Vec::new(),
+        dev_busy: vec![0; spec.len()],
+        dev_groups: vec![0; spec.len()],
+        churn: 0,
+        last_map: BTreeMap::new(),
+    };
+
+    for (i, a) in trace.arrivals().iter().enumerate() {
+        if a.time > exec.now {
+            exec.settle()?;
+            exec.pump_to(a.time)?;
+        }
+        let job = Job {
+            id: i,
+            bench: a.bench,
+            arrival: a.time,
+        };
+        match exec.queue.offer(job) {
+            Ok(()) => exec.settled = false,
+            Err(r) => exec.rejections.push(r),
+        }
+    }
+    exec.drain()?;
+
+    let mut jobs = exec.jobs;
+    jobs.sort_unstable_by_key(|j| j.id);
+    let makespan = exec.groups.iter().map(|g| g.end).max().unwrap_or(0);
+    Ok(FleetReport {
+        mode: cfg.mode.tag().to_string(),
+        queue_capacity: cfg.queue_capacity,
+        devices: spec
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(d, dev)| FleetDevice {
+                id: dev.id.clone(),
+                num_sms: dev.num_sms,
+                groups: exec.dev_groups[d],
+                busy_cycles: exec.dev_busy[d],
+            })
+            .collect(),
+        jobs,
+        rejections: exec.rejections,
+        groups: exec.groups,
+        degradations: Vec::new(),
+        churn: exec.churn,
+        makespan,
+    })
+}
+
+/// Mutable run state; method receiver for the event-loop steps.
+struct Exec<'a> {
+    engine: &'a SweepEngine,
+    base: &'a GpuConfig,
+    scale: Scale,
+    spec: &'a FleetSpec,
+    predictor: FleetPredictor,
+    mode: FleetMode,
+    max_group: usize,
+    queue: AdmissionQueue,
+    /// Per-device busy-until cycle.
+    busy: Vec<Option<u64>>,
+    now: u64,
+    settled: bool,
+    jobs: Vec<FleetJob>,
+    groups: Vec<FleetGroup>,
+    rejections: Vec<Rejection>,
+    dev_busy: Vec<u64>,
+    dev_groups: Vec<u64>,
+    churn: u64,
+    last_map: BTreeMap<JobId, usize>,
+}
+
+impl Exec<'_> {
+    fn free_completions(&mut self) {
+        for slot in &mut self.busy {
+            if slot.is_some_and(|until| until <= self.now) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Earliest pending completion.
+    fn next_event(&self) -> Option<u64> {
+        self.busy.iter().flatten().copied().min()
+    }
+
+    /// Runs the dispatch step at `now`, once.
+    fn settle(&mut self) -> Result<(), CoreError> {
+        if self.settled {
+            return Ok(());
+        }
+        self.dispatch()?;
+        self.settled = true;
+        Ok(())
+    }
+
+    /// Processes completions strictly before `target`, then lands at
+    /// `target` with completions freed and dispatch deferred — the
+    /// same discipline as `EventCore::pump_until`.
+    fn pump_to(&mut self, target: u64) -> Result<(), CoreError> {
+        while let Some(next) = self.next_event() {
+            if next >= target {
+                break;
+            }
+            self.now = next;
+            self.settled = false;
+            self.free_completions();
+            self.settle()?;
+        }
+        self.now = target;
+        self.settled = false;
+        self.free_completions();
+        Ok(())
+    }
+
+    /// Drains: dispatches everything pending and advances through all
+    /// remaining completions.
+    fn drain(&mut self) -> Result<(), CoreError> {
+        self.settle()?;
+        while let Some(next) = self.next_event() {
+            debug_assert!(next > self.now, "events must move time forward");
+            self.now = next;
+            self.settled = false;
+            self.free_completions();
+            self.settle()?;
+        }
+        assert!(
+            self.queue.is_empty(),
+            "jobs waiting with every device idle — allocator failed to place"
+        );
+        Ok(())
+    }
+
+    fn dispatch(&mut self) -> Result<(), CoreError> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        if self.mode == FleetMode::MarginalGain {
+            self.track_churn();
+        }
+        loop {
+            let free: Vec<usize> = (0..self.spec.len())
+                .filter(|&d| self.busy[d].is_none())
+                .collect();
+            if free.is_empty() || self.queue.is_empty() {
+                return Ok(());
+            }
+            let placed = match self.mode {
+                FleetMode::MarginalGain => self.dispatch_marginal(&free)?,
+                FleetMode::WholeDeviceFcfs => self.dispatch_fcfs(&free)?,
+            };
+            if placed == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Shadow-allocates the full pending census over the whole fleet
+    /// and counts jobs whose planned device moved since the previous
+    /// epoch — the allocation-churn metric. Pure curve arithmetic;
+    /// nothing is simulated.
+    fn track_churn(&mut self) {
+        let pending = self.queue.pending_vec();
+        let all: Vec<usize> = (0..self.spec.len()).collect();
+        let shadow = allocate(&self.predictor, self.spec, &pending, &all, self.max_group);
+        let mut map: BTreeMap<JobId, usize> = BTreeMap::new();
+        for a in &shadow.assignments {
+            for &id in &a.jobs {
+                map.insert(id, a.device);
+            }
+        }
+        self.churn += map
+            .iter()
+            .filter(|(id, d)| self.last_map.get(id).is_some_and(|prev| prev != *d))
+            .count() as u64;
+        self.last_map = map;
+    }
+
+    /// One marginal-gain allocation round over the free devices.
+    /// Returns how many jobs were dispatched.
+    fn dispatch_marginal(&mut self, free: &[usize]) -> Result<usize, CoreError> {
+        let pending = self.queue.pending_vec();
+        let plan = allocate(&self.predictor, self.spec, &pending, free, self.max_group);
+        let mut placed = 0usize;
+        for a in &plan.assignments {
+            let members = self.queue.take(&a.jobs);
+            let cap = self.spec.devices()[a.device].num_sms;
+            let cfg_d = self.spec.device_config(self.base, a.device);
+            let workloads: Vec<Workload> =
+                a.benches.iter().map(|&b| Workload::Bench(b)).collect();
+            let out = self.engine.corun_workloads(
+                &cfg_d,
+                self.scale,
+                &workloads,
+                &CorunMode::Counts(a.budgets.clone()),
+            )?;
+            let mut stp = 0.0;
+            for (k, m) in members.iter().enumerate() {
+                let alone = self.predictor.full_cycles(cap, m.bench);
+                let corun = out.cycles[k];
+                stp += alone as f64 / corun as f64;
+                self.jobs.push(FleetJob {
+                    id: m.id,
+                    bench: m.bench,
+                    device: a.device,
+                    arrival: m.arrival,
+                    dispatch: self.now,
+                    completion: self.now + corun,
+                    budget_sms: a.budgets[k],
+                    alone_cycles: alone,
+                    corun_cycles: corun,
+                });
+            }
+            self.finish_group(a.device, out.makespan, a.jobs.clone(), stp);
+            placed += members.len();
+        }
+        Ok(placed)
+    }
+
+    /// Whole-device FCFS baseline: the front job takes each free
+    /// device at full capacity. The measurement *is* the memoized
+    /// alone profile, so per-group STP is exactly 1.0.
+    fn dispatch_fcfs(&mut self, free: &[usize]) -> Result<usize, CoreError> {
+        let mut placed = 0usize;
+        for &d in free {
+            let Some(front) = self.queue.pending().next().map(|j| j.id) else {
+                break;
+            };
+            let members = self.queue.take(&[front]);
+            let m = members[0];
+            let cap = self.spec.devices()[d].num_sms;
+            let cfg_d = self.spec.device_config(self.base, d);
+            let p = self
+                .engine
+                .profile_workload(&cfg_d, self.scale, &Workload::Bench(m.bench), cap)?;
+            let cycles = p.cycles;
+            self.jobs.push(FleetJob {
+                id: m.id,
+                bench: m.bench,
+                device: d,
+                arrival: m.arrival,
+                dispatch: self.now,
+                completion: self.now + cycles,
+                budget_sms: cap,
+                alone_cycles: cycles,
+                corun_cycles: cycles,
+            });
+            self.finish_group(d, cycles, vec![m.id], 1.0);
+            placed += 1;
+        }
+        Ok(placed)
+    }
+
+    /// Records a dispatched group and marks its device busy. A group
+    /// always advances time (`makespan ≥ 1`), so the event loop makes
+    /// progress.
+    fn finish_group(&mut self, device: usize, makespan: u64, jobs: Vec<JobId>, stp: f64) {
+        let span = makespan.max(1);
+        let end = self.now + span;
+        self.busy[device] = Some(end);
+        self.dev_busy[device] += span;
+        self.dev_groups[device] += 1;
+        self.groups.push(FleetGroup {
+            device,
+            start: self.now,
+            end,
+            jobs,
+            stp,
+        });
+    }
+}

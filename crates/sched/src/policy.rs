@@ -122,8 +122,10 @@ impl Policy for IlpEpoch {
 /// # Panics
 ///
 /// If `groups` is not a permutation of `pending`'s benchmarks — core
-/// grouping guarantees it is, so a miss is a policy bug.
-fn ids_for_groups(pending: &[Job], groups: &[Vec<Benchmark>]) -> Vec<Vec<JobId>> {
+/// grouping guarantees it is, so a miss is a policy bug. Public so
+/// out-of-crate policies (the fleet allocator's greedy fallback) map
+/// their benchmark groups the same deterministic way.
+pub fn ids_for_groups(pending: &[Job], groups: &[Vec<Benchmark>]) -> Vec<Vec<JobId>> {
     let mut used = vec![false; pending.len()];
     groups
         .iter()

@@ -161,6 +161,33 @@ impl ArrivalTrace {
         ArrivalTrace { arrivals }
     }
 
+    /// Fleet-shaped traffic: `waves` same-timestamp batches of
+    /// `wave_len` jobs at fixed `gap`-cycle spacing, benchmarks drawn
+    /// uniformly from `pool`. Where [`ArrivalTrace::bursty`] stresses
+    /// one queue's backpressure with memoryless clump starts, the fixed
+    /// cadence here feeds a multi-device allocator a fresh placement
+    /// decision per wave — each wave must be split *across* devices, so
+    /// per-wave allocation (and cross-wave churn) is exercised rather
+    /// than queue depth. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty or `gap` is 0.
+    pub fn waves(pool: &[Benchmark], waves: usize, wave_len: usize, gap: u64, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "empty benchmark pool");
+        assert!(gap > 0, "wave gap must be at least 1 cycle");
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x7761_7665_7300_0000); // "waves"
+        let mut arrivals = Vec::with_capacity(waves * wave_len);
+        for w in 0..waves {
+            let t = (w as u64).saturating_mul(gap);
+            for _ in 0..wave_len {
+                let bench = pool[rng.gen_range(pool.len() as u64) as usize];
+                arrivals.push(Arrival { time: t, bench });
+            }
+        }
+        ArrivalTrace { arrivals }
+    }
+
     /// The arrivals, sorted by time (ties in admission order).
     pub fn arrivals(&self) -> &[Arrival] {
         &self.arrivals
@@ -535,6 +562,24 @@ mod tests {
             assert!(w.iter().all(|&x| x == w[0]));
         }
         assert_eq!(t, ArrivalTrace::bursty(&Benchmark::ALL, 5, 4, 50_000.0, 11));
+    }
+
+    #[test]
+    fn waves_arrive_on_a_fixed_cadence() {
+        let t = ArrivalTrace::waves(&Benchmark::ALL, 4, 3, 10_000, 7);
+        assert_eq!(t.len(), 12);
+        let times: Vec<u64> = t.arrivals().iter().map(|a| a.time).collect();
+        // Wave w lands exactly at w * gap, all members together.
+        for (w, chunk) in times.chunks(3).enumerate() {
+            assert!(chunk.iter().all(|&x| x == w as u64 * 10_000), "{times:?}");
+        }
+        assert_eq!(t, ArrivalTrace::waves(&Benchmark::ALL, 4, 3, 10_000, 7));
+        // A different seed reshuffles benches but keeps the cadence.
+        let u = ArrivalTrace::waves(&Benchmark::ALL, 4, 3, 10_000, 8);
+        assert_eq!(
+            u.arrivals().iter().map(|a| a.time).collect::<Vec<_>>(),
+            times
+        );
     }
 
     #[test]

@@ -18,9 +18,10 @@
 # baseline's instead of comparing apples to oranges.
 #
 # It then runs the online-scheduler micro-benchmarks (epoch planning
-# cost per policy, warm-cache event loop) the same way into
-# BENCH_sched.json, gated against its own committed baseline with the
-# same min_ns tolerance.
+# cost per policy, warm-cache event loop, plus the fleet/ family:
+# marginal-gain allocation over a warmed predictor and the warm-cache
+# heterogeneous fleet loop) the same way into BENCH_sched.json, gated
+# against its own committed baseline with the same min_ns tolerance.
 #
 # Usage:
 #   scripts/bench.sh            full run (~200 ms x 3 samples per bench)

@@ -46,6 +46,13 @@
 #                               threads, and replays a fault-injected
 #                               session twice to pin its transcript and
 #                               report (DESIGN.md §13), then exits
+#   scripts/ci.sh --fleet-smoke heterogeneous-fleet gate only: runs the
+#                               tests/fleet.rs suite and a TEST-scale
+#                               fleet_sim pass, byte-diffs the homogeneous
+#                               1-device FleetPolicy report against the
+#                               IlpEpoch report, and re-runs the
+#                               heterogeneous pass to pin its canonical
+#                               JSON (DESIGN.md §14), then exits
 #
 # Any failing step aborts the run (set -e) with the step name printed.
 
@@ -64,6 +71,7 @@ PROFILE_SMOKE=0
 TRACE_SMOKE=0
 SHARD_SMOKE=0
 DAEMON_SMOKE=0
+FLEET_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
@@ -74,7 +82,8 @@ for arg in "$@"; do
         --trace-smoke) TRACE_SMOKE=1 ;;
         --shard-smoke) SHARD_SMOKE=1 ;;
         --daemon-smoke) DAEMON_SMOKE=1 ;;
-        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke] [--shard-smoke] [--daemon-smoke]" >&2; exit 2 ;;
+        --fleet-smoke) FLEET_SMOKE=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick] [--bench-smoke] [--chaos-smoke] [--sched-smoke] [--profile-smoke] [--trace-smoke] [--shard-smoke] [--daemon-smoke] [--fleet-smoke]" >&2; exit 2 ;;
     esac
 done
 
@@ -216,6 +225,38 @@ if [ "$DAEMON_SMOKE" -eq 1 ]; then
     exit 0
 fi
 
+# Heterogeneous-fleet gate: the degenerate 1-device fleet must be
+# byte-identical to the single-GPU scheduler, and the heterogeneous
+# run's canonical JSON must be deterministic across re-runs
+# (DESIGN.md §14). fleet_sim itself asserts fleet STP > FCFS STP.
+fleet_smoke() {
+    step "fleet smoke (tests/fleet.rs: equivalence, conservation, determinism)"
+    cargo test -q -p gcs-fleet
+    step "fleet smoke (fleet_sim, GCS_SCALE=test: hom byte-diff + hetero re-run pin)"
+    cargo build --release --bin fleet_sim
+    GCS_SCALE=test ./target/release/fleet_sim >/dev/null
+    cmp results/fleet/fleet_hom_test_fleetpolicy.json \
+        results/fleet/fleet_hom_test_ilp.json || {
+        echo "homogeneous 1-device fleet report differs from single-GPU report" >&2
+        exit 1
+    }
+    echo "  1-device FleetPolicy == IlpEpoch, byte-for-byte"
+    cp results/fleet/fleet_test_fleet.json results/fleet/fleet_test_fleet.json.ref
+    GCS_SCALE=test ./target/release/fleet_sim >/dev/null
+    cmp results/fleet/fleet_test_fleet.json results/fleet/fleet_test_fleet.json.ref || {
+        echo "heterogeneous fleet report is not deterministic across re-runs" >&2
+        exit 1
+    }
+    rm -f results/fleet/fleet_test_fleet.json.ref
+    echo "  heterogeneous canonical JSON stable across re-runs"
+    echo "fleet smoke passed"
+}
+
+if [ "$FLEET_SMOKE" -eq 1 ]; then
+    fleet_smoke
+    exit 0
+fi
+
 if [ "$TRACE_SMOKE" -eq 1 ]; then
     step "trace smoke (trace_record + trace_replay round trip, GCS_SCALE=test)"
     cargo build --release --bin trace_record --bin trace_replay
@@ -272,6 +313,7 @@ fi
 
 shard_smoke
 daemon_smoke
+fleet_smoke
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     step "bench smoke (scripts/bench.sh --smoke)"
