@@ -148,6 +148,36 @@ fn main() {
         );
     }
 
+    // Sharded-memory stepping (phase M): a dense-issue GUPS × SPMV
+    // co-run on the full device at memory-shard counts 1, 2 and 4,
+    // with SM shards fixed at 4 (the configuration PR 7 left ~flat,
+    // because a dense workload gives SM-side elision nothing to skip
+    // — the cycles go to the serial per-slice memory tick instead).
+    // Bit-identity across m is pinned by
+    // tests/memsys_shard_equivalence.rs; this measures wall-clock. As
+    // with SM sharding the single-thread win comes from elision, not
+    // threads: the sharded cells carry exact per-slice
+    // `sleep_at = min(l2_event, dram_next)` gates, so saturated slices
+    // skip the ticks between DRAM services (bus busy) and the failed
+    // FR-FCFS scans while every bank is busy — exactly the cycles the
+    // m = 1 reference lane, which stays on the untouched single-pass
+    // path, must grind through one by one.
+    for mem_shards in [1u32, 2, 4] {
+        bench(
+            &format!("sim/device/gtx480_60k_cycles_gups_spmv_corun_memsharded/m{mem_shards}"),
+            || {
+                let mut gpu = Gpu::new(GpuConfig::gtx480()).expect("gpu");
+                gpu.set_shards(4);
+                gpu.set_mem_shards(mem_shards);
+                gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
+                gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("b");
+                gpu.partition_even();
+                gpu.run_for(60_000);
+                gpu.cycle()
+            },
+        );
+    }
+
     // Trace replay overhead: record BLK once, then time a full replay
     // run against the synthetic baseline above. Replay swaps address
     // generation for a cursor walk over the recorded attempts, so it

@@ -2,13 +2,15 @@
 //! (`scripts/ci.sh --shard-smoke`).
 //!
 //! Runs one fixed SMRA co-run (GUPS + SPMV at TEST scale on the GTX 480
-//! model) with the shard count given as the first argument and prints
+//! model) with the SM shard count given as the first argument and the
+//! memory shard count (phase M) as the optional second, and prints
 //! every statistic the run produced — per-app counters, device cycle,
 //! and the controller's action log — as one canonical JSON line
-//! (`stats: {...}`). The line deliberately omits the shard count
-//! itself, so the gate can diff the output at shards 1/2/4
+//! (`stats: {...}`). The line deliberately omits both shard counts,
+//! so the gate can diff the output across the s1/s4 × m1/m2/m4 grid
 //! byte-for-byte: any divergence means sharding changed a result, which
-//! tests/shard_equivalence.rs pins as impossible.
+//! tests/shard_equivalence.rs and tests/memsys_shard_equivalence.rs pin
+//! as impossible.
 
 #![forbid(unsafe_code)]
 
@@ -24,8 +26,13 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let mem_shards: u32 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let mut gpu = Gpu::new(GpuConfig::gtx480()).expect("gpu");
     gpu.set_shards(shards);
+    gpu.set_mem_shards(mem_shards);
     let a = gpu.launch(Benchmark::Gups.kernel(Scale::TEST)).expect("a");
     let b = gpu.launch(Benchmark::Spmv.kernel(Scale::TEST)).expect("b");
     gpu.partition_even();
@@ -83,6 +90,12 @@ fn main() {
         .unwrap();
     }
     line.push_str("]}");
-    eprintln!("[shard_smoke] shards={} ({} effective)", shards, gpu.shards());
+    eprintln!(
+        "[shard_smoke] shards={} ({} effective) mem_shards={} ({} effective)",
+        shards,
+        gpu.shards(),
+        mem_shards,
+        gpu.mem_shards()
+    );
     println!("stats: {line}");
 }

@@ -33,8 +33,12 @@ pub const PROFILE_MAX_CYCLES: u64 = 200_000_000;
 /// this never changes a result — only its wall-clock cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SimShards {
-    /// Shard count (clamped per device by `set_shards`).
+    /// SM shard count (clamped per device by `set_shards`).
     pub shards: u32,
+    /// Memory shard count for phase M (clamped per device by
+    /// `set_mem_shards`). Rides the same leased workers as the SM
+    /// shards — granting it never consumes extra thread budget.
+    pub mem_shards: u32,
     /// Worker threads for the sharded step (1 = in-place).
     pub workers: u32,
 }
@@ -43,6 +47,7 @@ impl SimShards {
     /// Plain unsharded reference stepping.
     pub(crate) const OFF: SimShards = SimShards {
         shards: 1,
+        mem_shards: 1,
         workers: 1,
     };
 
@@ -51,6 +56,9 @@ impl SimShards {
         if self.shards > 1 {
             gpu.set_shards(self.shards);
             gpu.set_shard_workers(self.workers);
+        }
+        if self.mem_shards > 1 {
+            gpu.set_mem_shards(self.mem_shards);
         }
     }
 }

@@ -404,6 +404,10 @@ impl SweepEngine {
         let lease = self.lease_shard_workers();
         let grant = SimShards {
             shards: u32::try_from(self.sim_threads).unwrap_or(u32::MAX),
+            // Memory shards ride the same lease: phase M is stepped by
+            // the SM-shard workers, so no second lease is taken and
+            // the thread budget is untouched by this field.
+            mem_shards: u32::try_from(self.sim_threads).unwrap_or(u32::MAX),
             workers: 1 + u32::try_from(lease.extra).unwrap_or(0),
         };
         (grant, lease)
@@ -1825,6 +1829,37 @@ mod tests {
         // sim_threads=1 never leases, whatever the budget.
         let off = SweepEngine::new(8);
         assert_eq!(off.lease_shard_workers().extra, 0);
+    }
+
+    #[test]
+    fn mem_shards_ride_the_sm_lease_without_a_second_one() {
+        // threads=2, sim_threads=2: the single grant takes the one
+        // spare thread for its SM-shard workers, *and* carries the
+        // memory-shard count — phase M runs on those same workers, so
+        // while it is held no further thread is leasable, yet the
+        // grant's mem_shards is already the full sim_threads target.
+        // Leased SM + memory shard workers therefore never exceed the
+        // GCS_SIM_THREADS budget: there is no second lease to exceed
+        // it with.
+        let e = SweepEngine::new(2).with_sim_threads(2);
+        let (grant, lease) = e.shard_grant();
+        assert_eq!(grant.shards, 2);
+        assert_eq!(grant.mem_shards, 2, "phase M granted from the same lease");
+        assert_eq!(grant.workers, 2);
+        assert_eq!(lease.extra, 1);
+        assert_eq!(
+            e.lease_shard_workers().extra,
+            0,
+            "no spare thread while the grant is held — a second lease \
+             for phase M would oversubscribe, and none is taken"
+        );
+        drop(lease);
+        assert_eq!(e.leased.load(Ordering::Relaxed), 0);
+
+        // With sharding off the grant leaves memory sharding off too.
+        let off = SweepEngine::new(8);
+        let (grant, _lease) = off.shard_grant();
+        assert_eq!(grant.mem_shards, 1);
     }
 
     #[test]

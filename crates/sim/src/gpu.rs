@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex};
 use crate::config::GpuConfig;
 use crate::fault::{apply_fault_event, FaultEvent, FaultPlan};
 use crate::kernel::{AppId, KernelDesc};
-use crate::memsys::{Completion, MemSys};
+use crate::memsys::{Completion, MemShard, MemSys};
 use crate::shard::{
     worker_loop, CellsView, RunSnapshot, SeqExec, ShardCell, ShardCtl, ShardExec, ShardPlan,
     ShutdownGuard, SmSlab, SnapApp, ThreadedExec,
@@ -307,6 +307,22 @@ impl Gpu {
     /// Threads driving the sharded parallel phase.
     pub fn shard_workers(&self) -> u32 {
         self.shard_workers
+    }
+
+    /// Selects the memory-shard count for phase M (clamped to
+    /// `[1, num_slices]`; 1, the default, keeps the single-pass
+    /// reference `MemSys::tick`). Like SM sharding this is a pure
+    /// runtime knob: stats, traces and SMRA decisions are bit-identical
+    /// at every value (pinned by the `memsys_shard_equivalence` suite).
+    /// Memory shards are stepped by the *same* leased workers as the
+    /// SM shards — no extra threads beyond `GCS_SIM_THREADS`.
+    pub fn set_mem_shards(&mut self, k: u32) {
+        self.memsys.set_shards(k);
+    }
+
+    /// Memory-shard count in force (1 = unsharded).
+    pub fn mem_shards(&self) -> u32 {
+        self.memsys.num_shards() as u32
     }
 
     /// The SM partition `run`/`run_for` would use right now.
@@ -1040,15 +1056,22 @@ impl Gpu {
         let workers = (self.shard_workers.max(1) as usize).min(cells.len());
         let (cells, out) = if workers > 1 {
             let mcells: Vec<Mutex<ShardCell>> = cells.into_iter().map(Mutex::new).collect();
+            // Phase-M slots: the coordinator parks the memory shards
+            // here each epoch so the same workers can tick them.
+            let mslots: Vec<Mutex<Option<MemShard>>> = (0..self.memsys.num_shards())
+                .filter(|_| self.memsys.num_shards() > 1)
+                .map(|_| Mutex::new(None))
+                .collect();
             let ctl = ShardCtl::default();
             let out = std::thread::scope(|scope| {
                 let guard = ShutdownGuard(&ctl);
                 for j in 1..workers {
-                    let (mc, ct, sn) = (&mcells, &ctl, &snap);
-                    scope.spawn(move || worker_loop(j, workers, mc, ct, sn));
+                    let (mc, ms, ct, sn) = (&mcells, &mslots, &ctl, &snap);
+                    scope.spawn(move || worker_loop(j, workers, mc, ms, ct, sn));
                 }
                 let mut exec = ThreadedExec {
                     cells: &mcells,
+                    mem: &mslots,
                     ctl: &ctl,
                     threads: workers,
                 };
@@ -1234,17 +1257,16 @@ impl Gpu {
             }
         }
 
-        // 1 + issue-A. Deliver completions and run the SM-local half of
-        // the issue path, shard-parallel. Ordering note: the memory
-        // tick below commutes with this phase — the tick never touches
-        // SM state and phase A never touches the memory system (its
-        // coupled accesses suspend before the admission check).
+        // 1 + issue-A + 2. Deliver completions, then run the parallel
+        // half of the cycle: the SM-local issue path (phase A) and the
+        // memory-system tick (phase M), possibly overlapped on workers.
+        // Ordering note: the two phases commute — the tick never
+        // touches SM state and phase A never touches the memory system
+        // (its coupled accesses suspend before the admission check),
+        // and completions were drained before either starts.
         self.comp_buf.clear();
         self.memsys.drain_completions(now, &mut self.comp_buf);
-        exec.phase_a(now, &self.comp_buf, snap);
-
-        // 2. Memory system.
-        self.memsys.tick(now, &mut self.stats);
+        exec.phase_am(now, &self.comp_buf, snap, &mut self.memsys, &mut self.stats);
 
         // 3-5. Serial merge: resolve suspended accesses and dispatch in
         // canonical rotation order against the live memory system, then

@@ -19,8 +19,10 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cache::{Access, Cache};
 use crate::config::GpuConfig;
+use crate::gpu::MAX_APPS;
 use crate::kernel::AppId;
-use crate::stats::SimStats;
+use crate::shard::ShardPlan;
+use crate::stats::{MemDelta, SimStats};
 
 /// Bound on the slice input queue; SMs are back-pressured beyond this.
 /// Kept shallow: a deep queue lets a bandwidth-saturating application
@@ -305,13 +307,235 @@ struct Slice {
     /// undercount re-probes, exactly as event-horizon jumps already
     /// do).
     scan_wake: u64,
+    /// Sharded-mode cache of the DRAM-side event bound for *queries
+    /// after the last tick*: exactly what [`dram_bound`] would compute
+    /// at `now + 1`, maintained at the end of every sharded slice tick.
+    /// Invariants while valid: `u64::MAX` iff the controller queue is
+    /// empty; strictly greater than the tick cycle otherwise. `0` marks
+    /// the cache stale (the reference `m = 1` tick does not maintain
+    /// it); [`MemShard::new`] cold-starts it and the first sharded tick
+    /// revalidates. Banks and `bus_free_at` mutate only on a service,
+    /// so the value stays exact across elided (skipped) ticks.
+    dram_next: u64,
+    /// Sharded-mode tick-elision gate: the earliest cycle a tick of
+    /// this slice could be anything but a no-op, i.e.
+    /// `min(l2_event, dram_next)` at the end of the slice's last tick.
+    /// Before that cycle the reference tick provably changes nothing
+    /// observable (see `tick_slice`): no due arrival, no consumable
+    /// stalled miss (DRAM/MSHR space can only be freed by a service,
+    /// which cannot happen before `dram_next`), and no DRAM pick can
+    /// succeed. Lowered by `push` (to the new `arrive_at`), reset to 0
+    /// by the fault knobs (`set_extra_latency`, `set_mshr_cap`): a
+    /// knob change can turn a stalled-miss re-scan from a no-op into
+    /// progress, which breaks the proof until the next real tick.
+    sleep_at: u64,
+    /// Sharded-mode stalled-prefix cache: the first `stalled_skip`
+    /// entries of `input` were probed by the last scan and verdicted
+    /// "stalled miss" (no L2 line, no MSHR entry to merge with, no
+    /// queue/MSHR space to proceed into). Until a DRAM service on this
+    /// slice those verdicts cannot change — space frees and lines fill
+    /// only on a service, and while the stall reason holds no insert
+    /// can create a mergeable MSHR entry either — so the next scan
+    /// starts probing at this index instead of re-probing the whole
+    /// prefix (the dominant cost of a saturated slice's tick).
+    /// Maintained only in sharded (`TRACK`) mode; reset to 0 on every
+    /// service, by the fault knobs (`set_mshr_cap` changes the
+    /// verdicts) and on repartition. Pure scan elision, like
+    /// `scan_wake`: only the L2 probe tallies undercount the skipped
+    /// re-probes; nothing `SimStats`-visible moves.
+    stalled_skip: u32,
+}
+
+/// One shard of the memory system during sharded (`m > 1`) stepping:
+/// a contiguous range of slices plus shard-local output buffers and
+/// exact summaries, mirroring [`ShardCell`](crate::shard::ShardCell)
+/// for SMs. Cells never touch shared state while ticking, so they step
+/// concurrently; the serial fold replays their outputs in cell order,
+/// which equals global slice order, so the merged response/stat stream
+/// is bit-identical to the reference slice loop.
+#[derive(Debug)]
+pub(crate) struct MemShard {
+    /// Global index of `slices[0]`.
+    pub base: u32,
+    /// The shard's slices, in global order.
+    slices: Vec<Slice>,
+    /// Per-app stat deltas accumulated by this shard's ticks; folded
+    /// into [`SimStats`] in cell order every stepped cycle.
+    delta: [MemDelta; MAX_APPS],
+    /// Responses `(at, sm, warp_slot)` produced by this shard's ticks,
+    /// in generation order; folded into the global heap in cell order
+    /// (== the reference push order) every stepped cycle.
+    resp: Vec<(u64, u32, u32)>,
+    /// Exact aggregate `min(l2_event, dram_next)` over the shard's
+    /// slices — this shard's whole contribution to
+    /// [`MemSys::next_event`], valid only while `ev_valid`. Lowered by
+    /// `push`, recomputed at the end of every (non-skipped) shard tick.
+    ev_min: u64,
+    /// Whether `ev_min`/`dram_next` are populated. False from
+    /// [`MemShard::new`] until the shard's first sharded tick (the
+    /// reference path does not maintain the caches); while false,
+    /// `next_event` falls back to the exact per-slice reference scan.
+    ev_valid: bool,
+    /// Exact aggregate `min(sleep_at)` over the shard's slices: before
+    /// this cycle the whole shard tick is a no-op and is skipped
+    /// outright. Lowered by `push`, zeroed by the fault knobs,
+    /// recomputed at the end of every non-skipped shard tick.
+    sleep_min: u64,
+}
+
+impl MemShard {
+    /// Wraps `slices` (whose first element has global index `base`),
+    /// cold-starting the elision caches: an empty slice is exactly
+    /// idle (bounds `u64::MAX`), a busy one is marked stale and forced
+    /// to tick at the next stepped cycle, which revalidates it.
+    fn new(base: u32, mut slices: Vec<Slice>) -> Self {
+        for s in &mut slices {
+            s.stalled_skip = 0;
+            if s.input.is_empty() && s.ctrl.queue.is_empty() {
+                s.dram_next = u64::MAX;
+                s.sleep_at = u64::MAX;
+            } else {
+                s.dram_next = 0;
+                s.sleep_at = 0;
+            }
+        }
+        let sleep_min = slices.iter().map(|s| s.sleep_at).min().unwrap_or(u64::MAX);
+        MemShard {
+            base,
+            slices,
+            delta: [MemDelta::default(); MAX_APPS],
+            resp: Vec::new(),
+            ev_min: u64::MAX,
+            ev_valid: false,
+            sleep_min,
+        }
+    }
+}
+
+/// Everything a slice tick reads from the enclosing [`MemSys`]: config
+/// constants plus the live fault knobs, snapshotted once per stepped
+/// cycle so shard workers can tick [`MemShard`]s without borrowing the
+/// device. Fault events apply before the memory phase of a cycle, so
+/// the snapshot is constant within it.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MemTickCtx {
+    num_slices: u64,
+    banks: u64,
+    icnt: u64,
+    /// Nominal L2 latency plus the fault-injected extra.
+    l2_lat: u64,
+    extra_dram: u64,
+    mshr_cap: usize,
+    line_mask: u64,
+    line_bytes: u64,
+    row_bytes: u64,
+    row_shift: u32,
+    fr_fcfs: bool,
+    l2_ports: u32,
+    queue_depth: usize,
+    t_row_hit: u64,
+    t_row_miss: u64,
+    t_burst: u64,
+    t_rc: u64,
+}
+
+/// Where a slice tick sends its observable outputs: directly into the
+/// response heap and [`SimStats`] on the reference (`m = 1`) path, or
+/// into the owning shard's local buffers on the sharded path. Both
+/// sinks receive the calls in the same order, and every stat is an
+/// additive counter, so the fold reproduces the direct writes exactly.
+trait MemSink {
+    fn response(&mut self, at: u64, sm: u32, warp_slot: u32);
+    fn l2_to_l1(&mut self, app: AppId, bytes: u64);
+    fn dram_read(&mut self, app: AppId, bytes: u64);
+    fn dram_write(&mut self, app: AppId, bytes: u64);
+    fn dram_row(&mut self, app: AppId, hit: bool);
+}
+
+/// Reference-path sink: the untouched `m = 1` behavior.
+struct DirectSink<'a> {
+    responses: &'a mut BinaryHeap<Reverse<(u64, u32, u32)>>,
+    stats: &'a mut SimStats,
+}
+
+impl MemSink for DirectSink<'_> {
+    #[inline]
+    fn response(&mut self, at: u64, sm: u32, warp_slot: u32) {
+        self.responses.push(Reverse((at, sm, warp_slot)));
+    }
+    #[inline]
+    fn l2_to_l1(&mut self, app: AppId, bytes: u64) {
+        self.stats.app_mut(app).l2_to_l1_bytes += bytes;
+    }
+    #[inline]
+    fn dram_read(&mut self, app: AppId, bytes: u64) {
+        self.stats.app_mut(app).dram_read_bytes += bytes;
+    }
+    #[inline]
+    fn dram_write(&mut self, app: AppId, bytes: u64) {
+        self.stats.app_mut(app).dram_write_bytes += bytes;
+    }
+    #[inline]
+    fn dram_row(&mut self, app: AppId, hit: bool) {
+        let a = self.stats.app_mut(app);
+        if hit {
+            a.dram_row_hits += 1;
+        } else {
+            a.dram_row_misses += 1;
+        }
+    }
+}
+
+/// Shard-local sink: buffers everything for the serial fold.
+struct ShardSink<'a> {
+    resp: &'a mut Vec<(u64, u32, u32)>,
+    delta: &'a mut [MemDelta; MAX_APPS],
+}
+
+impl MemSink for ShardSink<'_> {
+    #[inline]
+    fn response(&mut self, at: u64, sm: u32, warp_slot: u32) {
+        self.resp.push((at, sm, warp_slot));
+    }
+    #[inline]
+    fn l2_to_l1(&mut self, app: AppId, bytes: u64) {
+        self.delta[usize::from(app.0)].l2_to_l1_bytes += bytes;
+    }
+    #[inline]
+    fn dram_read(&mut self, app: AppId, bytes: u64) {
+        self.delta[usize::from(app.0)].dram_read_bytes += bytes;
+    }
+    #[inline]
+    fn dram_write(&mut self, app: AppId, bytes: u64) {
+        self.delta[usize::from(app.0)].dram_write_bytes += bytes;
+    }
+    #[inline]
+    fn dram_row(&mut self, app: AppId, hit: bool) {
+        let d = &mut self.delta[usize::from(app.0)];
+        if hit {
+            d.dram_row_hits += 1;
+        } else {
+            d.dram_row_misses += 1;
+        }
+    }
 }
 
 /// The shared memory hierarchy below the L1s.
+///
+/// The slices always live inside [`MemShard`] cells: one cell holding
+/// every slice is the reference (`m = 1`) layout, and
+/// [`MemSys::set_shards`] repartitions them for sharded stepping.
+/// `tick`/`next_event` dispatch on the cell count, so the `m = 1` path
+/// is the untouched reference computation.
 #[derive(Debug)]
 pub struct MemSys {
     cfg: GpuConfig,
-    slices: Vec<Slice>,
+    cells: Vec<MemShard>,
+    /// Total slice count (invariant across repartitions).
+    num_slices: u32,
+    /// Slices per cell (ceiling division; global slice `g` lives in
+    /// cell `g / mem_chunk` at local index `g % mem_chunk`).
+    mem_chunk: usize,
     /// Pending read responses ordered by completion cycle.
     responses: BinaryHeap<Reverse<(u64, u32, u32)>>,
     line_bytes: u64,
@@ -350,6 +574,9 @@ impl MemSys {
                 mshr: MshrTable::new(),
                 l2_event: u64::MAX,
                 scan_wake: 0,
+                dram_next: u64::MAX,
+                sleep_at: u64::MAX,
+                stalled_skip: 0,
             })
             .collect();
         let line_bytes = u64::from(cfg.l1.line_bytes);
@@ -373,12 +600,26 @@ impl MemSys {
                 0
             },
             cfg: cfg.clone(),
-            slices,
+            num_slices: num_slices as u32,
+            mem_chunk: (num_slices as usize).max(1),
+            cells: vec![MemShard::new(0, slices)],
             responses: BinaryHeap::new(),
             extra_l2_lat: 0,
             extra_dram_lat: 0,
             mshr_cap: MSHRS_PER_SLICE,
         }
+    }
+
+    /// Iterates every slice in global order, across cells.
+    #[inline]
+    fn slices(&self) -> impl Iterator<Item = &Slice> {
+        self.cells.iter().flat_map(|c| c.slices.iter())
+    }
+
+    /// The slice with global index `g`.
+    #[inline]
+    fn slice_at(&self, g: usize) -> &Slice {
+        &self.cells[g / self.mem_chunk].slices[g % self.mem_chunk]
     }
 
     /// Global DRAM row of an address (shift when `row_bytes` is a power
@@ -397,9 +638,17 @@ impl MemSys {
     pub fn set_extra_latency(&mut self, extra_l2: u32, extra_dram: u32) {
         self.extra_l2_lat = u64::from(extra_l2);
         self.extra_dram_lat = u64::from(extra_dram);
-        // Timing changed under sleeping scans; force a re-scan.
-        for slice in &mut self.slices {
-            slice.scan_wake = 0;
+        // Timing changed under sleeping scans; force a re-scan. The
+        // sharded sleep gates rest on the same no-op proof, so they
+        // reset too; the `ev` caches do not — knobs change no queue
+        // state, so the reference `next_event` value is unchanged.
+        for cell in &mut self.cells {
+            for slice in &mut cell.slices {
+                slice.scan_wake = 0;
+                slice.sleep_at = 0;
+                slice.stalled_skip = 0;
+            }
+            cell.sleep_min = 0;
         }
     }
 
@@ -408,9 +657,15 @@ impl MemSys {
     /// the cap only gates new allocations.
     pub fn set_mshr_cap(&mut self, cap: u32) {
         self.mshr_cap = (cap.max(1) as usize).min(MSHRS_PER_SLICE);
-        // A raised cap can unstall sleeping misses; force a re-scan.
-        for slice in &mut self.slices {
-            slice.scan_wake = 0;
+        // A raised cap can unstall sleeping misses; force a re-scan
+        // (and, sharded, a real tick — see `set_extra_latency`).
+        for cell in &mut self.cells {
+            for slice in &mut cell.slices {
+                slice.scan_wake = 0;
+                slice.sleep_at = 0;
+                slice.stalled_skip = 0;
+            }
+            cell.sleep_min = 0;
         }
     }
 
@@ -426,13 +681,13 @@ impl MemSys {
         if self.slice_mask != 0 {
             (row & self.slice_mask) as usize
         } else {
-            (row % self.slices.len() as u64) as usize
+            (row % u64::from(self.num_slices)) as usize
         }
     }
 
     /// Whether the target slice can take one more request.
     pub fn can_accept(&self, addr: u64) -> bool {
-        self.slices[self.slice_of(addr)].input.len() < SLICE_QUEUE_DEPTH
+        self.slice_at(self.slice_of(addr)).input.len() < SLICE_QUEUE_DEPTH
     }
 
     /// Whether every address in `addrs` targets a slice that can take
@@ -447,35 +702,158 @@ impl MemSys {
     /// Injects a transaction (already line-aligned). Call only after
     /// [`MemSys::can_accept`] returned `true` this cycle.
     pub fn push(&mut self, req: MemRequest) {
-        let idx = self.slice_of(req.addr);
-        let slice = &mut self.slices[idx];
+        let g = self.slice_of(req.addr);
+        let cell = &mut self.cells[g / self.mem_chunk];
+        let slice = &mut cell.slices[g % self.mem_chunk];
         debug_assert!(slice.input.len() < SLICE_QUEUE_DEPTH + 64);
         slice.l2_event = slice.l2_event.min(req.arrive_at);
         slice.scan_wake = 0;
+        // Sharded summaries: the new arrival can matter no earlier than
+        // `arrive_at`, so lowering (not zeroing) the gates keeps both
+        // exact — `l2_event` dropped by the same amount, so `ev_min`
+        // stays the true minimum.
+        slice.sleep_at = slice.sleep_at.min(req.arrive_at);
+        cell.sleep_min = cell.sleep_min.min(req.arrive_at);
+        cell.ev_min = cell.ev_min.min(req.arrive_at);
         slice.input.push_back(req);
+    }
+
+    /// The per-cycle constants `tick` would hoist, snapshotted so
+    /// shard workers can tick cells without borrowing the device.
+    pub(crate) fn tick_ctx(&self) -> MemTickCtx {
+        MemTickCtx {
+            num_slices: u64::from(self.num_slices),
+            banks: u64::from(self.cfg.dram.banks),
+            icnt: u64::from(self.cfg.icnt_lat),
+            l2_lat: u64::from(self.cfg.l2_lat) + self.extra_l2_lat,
+            extra_dram: self.extra_dram_lat,
+            mshr_cap: self.mshr_cap,
+            line_mask: self.line_mask,
+            line_bytes: self.line_bytes,
+            row_bytes: self.row_bytes,
+            row_shift: self.row_shift,
+            fr_fcfs: self.cfg.dram.fr_fcfs,
+            l2_ports: self.cfg.l2_ports,
+            queue_depth: self.cfg.dram.queue_depth,
+            t_row_hit: u64::from(self.cfg.dram.t_row_hit),
+            t_row_miss: u64::from(self.cfg.dram.t_row_miss),
+            t_burst: u64::from(self.cfg.dram.t_burst),
+            t_rc: u64::from(self.cfg.dram.t_rc),
+        }
     }
 
     /// Advances the slices and DRAM controllers by one cycle. Slices
     /// with nothing queued are skipped entirely (MSHR entries imply a
     /// queued read, so the emptiness check is complete).
+    ///
+    /// With one cell this is the untouched reference loop (responses
+    /// and stats written directly, no elision-cache maintenance); with
+    /// `m > 1` cells each shard ticks independently against its local
+    /// buffers and the serial fold replays the outputs in cell order.
     pub fn tick(&mut self, now: u64, stats: &mut SimStats) {
-        let num_slices = self.slices.len() as u64;
-        let banks = u64::from(self.cfg.dram.banks);
-        let icnt = u64::from(self.cfg.icnt_lat);
-        let l2_lat = u64::from(self.cfg.l2_lat) + self.extra_l2_lat;
-        let extra_dram = self.extra_dram_lat;
-        let mshr_cap = self.mshr_cap;
-        let line_mask = self.line_mask;
-        let line_bytes = self.line_bytes;
-        let row_bytes = self.row_bytes;
-        let row_shift = self.row_shift;
-        let fr_fcfs = self.cfg.dram.fr_fcfs;
-        for slice in &mut self.slices {
-            if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
-                debug_assert!(slice.mshr.is_empty());
-                continue;
+        let ctx = self.tick_ctx();
+        if self.cells.len() == 1 {
+            let mut sink = DirectSink {
+                responses: &mut self.responses,
+                stats,
+            };
+            for slice in &mut self.cells[0].slices {
+                if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
+                    debug_assert!(slice.mshr.is_empty());
+                    continue;
+                }
+                tick_slice::<_, false>(slice, now, &ctx, &mut sink);
             }
+        } else {
+            for cell in &mut self.cells {
+                tick_cell(cell, now, &ctx);
+            }
+            self.fold_shards(stats);
+        }
+    }
+}
 
+/// The DRAM-side event bound the reference `next_event` computes for
+/// one slice at query cycle `now`: the next scheduling opportunity
+/// (`bus_free_at`, or the earliest bank-ready time when the bus is
+/// free but every candidate bank was busy), `u64::MAX` when nothing is
+/// queued.
+#[inline]
+fn dram_bound(slice: &Slice, now: u64) -> u64 {
+    let ctrl = &slice.ctrl;
+    if ctrl.queue.is_empty() {
+        return u64::MAX;
+    }
+    if ctrl.bus_free_at >= now {
+        ctrl.bus_free_at
+    } else {
+        let mut ev = u64::MAX;
+        for (_, e) in ctrl.queue.iter() {
+            ev = ev.min(ctrl.banks[e.bank as usize].ready_at);
+        }
+        ev
+    }
+}
+
+/// Ticks every non-idle, non-sleeping slice of one shard for cycle
+/// `now` against the shard-local buffers, then recomputes the shard's
+/// exact `ev_min`/`sleep_min` aggregates. Touches nothing outside the
+/// cell, so cells tick concurrently; a shard whose `sleep_min` has not
+/// been reached is skipped wholesale (every slice tick would be a
+/// no-op, so the aggregates are still current).
+pub(crate) fn tick_cell(cell: &mut MemShard, now: u64, ctx: &MemTickCtx) {
+    if now < cell.sleep_min {
+        return;
+    }
+    let mut sink = ShardSink {
+        resp: &mut cell.resp,
+        delta: &mut cell.delta,
+    };
+    for slice in &mut cell.slices {
+        if slice.input.is_empty() && slice.ctrl.queue.is_empty() {
+            debug_assert!(slice.mshr.is_empty());
+            continue;
+        }
+        if now < slice.sleep_at {
+            continue;
+        }
+        tick_slice::<_, true>(slice, now, ctx, &mut sink);
+    }
+    let mut ev = u64::MAX;
+    let mut sleep = u64::MAX;
+    for slice in &cell.slices {
+        ev = ev.min(slice.l2_event.min(slice.dram_next));
+        sleep = sleep.min(slice.sleep_at);
+    }
+    cell.ev_min = ev;
+    cell.sleep_min = sleep;
+    cell.ev_valid = true;
+}
+
+/// One slice's reference cycle: the L2 stage, the DRAM stage and the
+/// event bookkeeping, with observable outputs routed through `sink`.
+/// `TRACK` additionally maintains the sharded elision caches
+/// (`dram_next`, `sleep_at`); the `m = 1` reference path instantiates
+/// `TRACK = false` and pays nothing.
+fn tick_slice<S: MemSink, const TRACK: bool>(
+    slice: &mut Slice,
+    now: u64,
+    ctx: &MemTickCtx,
+    sink: &mut S,
+) {
+    let num_slices = ctx.num_slices;
+    let banks = ctx.banks;
+    let icnt = ctx.icnt;
+    let l2_lat = ctx.l2_lat;
+    let extra_dram = ctx.extra_dram;
+    let mshr_cap = ctx.mshr_cap;
+    let line_mask = ctx.line_mask;
+    let line_bytes = ctx.line_bytes;
+    let row_bytes = ctx.row_bytes;
+    let row_shift = ctx.row_shift;
+    let fr_fcfs = ctx.fr_fcfs;
+    {
+        {
             // L2 stage: process up to l2_ports arrived requests. A miss
             // that cannot enter a full DRAM queue is *skipped over*, not
             // blocked on: L2 hits behind it would otherwise suffer
@@ -493,13 +871,25 @@ impl MemSys {
             // stalled misses to the same verdicts; skip it wholesale
             // until a service or arrival can change the outcome.
             let scanned = now >= slice.scan_wake;
+            // Sharded mode: the leading `stalled_skip` entries carry a
+            // still-valid "stalled" verdict from an earlier scan (see
+            // the field's invariant) — start probing after them.
+            let mut verdicted = 0u32;
             if scanned {
                 let mut len = slice.input.len();
-                let mut i = 0; // read cursor
-                let mut w = 0; // write cursor (entries kept)
+                let skip = if TRACK {
+                    (slice.stalled_skip as usize).min(len)
+                } else {
+                    0
+                };
+                let mut i = skip; // read cursor
+                let mut w = skip; // write cursor (entries kept)
+                if skip > 0 {
+                    stalled_kept = true;
+                }
                 while i < len {
                     let req = slice.input[i];
-                    if processed >= self.cfg.l2_ports {
+                    if processed >= ctx.l2_ports {
                         if req.arrive_at <= now {
                             due_left = true;
                         } else {
@@ -511,7 +901,7 @@ impl MemSys {
                         next_arrival = req.arrive_at;
                         break; // queue is FIFO in arrival time
                     }
-                    let dram_full = slice.ctrl.queue.len() >= self.cfg.dram.queue_depth;
+                    let dram_full = slice.ctrl.queue.len() >= ctx.queue_depth;
                     // Probe without allocating: a stalled miss retries
                     // later, and an early allocation would turn that
                     // retry into a phantom hit. Lines are filled on DRAM
@@ -522,8 +912,8 @@ impl MemSys {
                             if !req.is_write {
                                 // Write hits are absorbed silently.
                                 let at = now + l2_lat + icnt;
-                                stats.app_mut(req.app).l2_to_l1_bytes += line_bytes;
-                                self.responses.push(Reverse((at, req.sm, req.warp_slot)));
+                                sink.l2_to_l1(req.app, line_bytes);
+                                sink.response(at, req.sm, req.warp_slot);
                             }
                             true
                         }
@@ -575,6 +965,9 @@ impl MemSys {
                         i += 1;
                     }
                 }
+                // Every kept entry below the cursor was probed (this
+                // scan or a still-valid earlier one) and stalled.
+                verdicted = w as u32;
                 // Close the gap: shift the unexamined tail down over the
                 // consumed entries, preserving order.
                 if w != i {
@@ -590,7 +983,7 @@ impl MemSys {
             // DRAM stage: one scheduling decision per free bus slot.
             let mut serviced = false;
             if slice.ctrl.bus_free_at <= now && !slice.ctrl.queue.is_empty() {
-                let pick = Self::schedule_dram(&slice.ctrl, now, fr_fcfs);
+                let pick = MemSys::schedule_dram(&slice.ctrl, now, fr_fcfs);
                 if let Some(idx) = pick {
                     serviced = true;
                     let entry = slice.ctrl.queue.take(idx);
@@ -603,36 +996,23 @@ impl MemSys {
                     // banks.
                     let bank = &mut slice.ctrl.banks[entry.bank as usize];
                     let row_hit = bank.open_row == global_row;
-                    let lat = u64::from(if row_hit {
-                        self.cfg.dram.t_row_hit
-                    } else {
-                        self.cfg.dram.t_row_miss
-                    });
+                    let lat = if row_hit { ctx.t_row_hit } else { ctx.t_row_miss };
                     // Data latency differs from bank occupancy: an open
                     // row pipelines CAS-to-CAS at bus rate, while a row
                     // miss ties the bank up for the activate cycle.
-                    let occupancy = u64::from(if row_hit {
-                        self.cfg.dram.t_burst
-                    } else {
-                        self.cfg.dram.t_rc
-                    });
+                    let occupancy = if row_hit { ctx.t_burst } else { ctx.t_rc };
                     let start = now.max(bank.ready_at);
                     let done = start + lat + extra_dram;
                     bank.open_row = global_row;
                     bank.ready_at = start + occupancy;
-                    slice.ctrl.bus_free_at = now + u64::from(self.cfg.dram.t_burst);
+                    slice.ctrl.bus_free_at = now + ctx.t_burst;
 
-                    let app = stats.app_mut(req.app);
                     if req.is_write {
-                        app.dram_write_bytes += line_bytes;
+                        sink.dram_write(req.app, line_bytes);
                     } else {
-                        app.dram_read_bytes += line_bytes;
-                        app.l2_to_l1_bytes += line_bytes;
-                        if row_hit {
-                            app.dram_row_hits += 1;
-                        } else {
-                            app.dram_row_misses += 1;
-                        }
+                        sink.dram_read(req.app, line_bytes);
+                        sink.l2_to_l1(req.app, line_bytes);
+                        sink.dram_row(req.app, row_hit);
                         slice.l2.fill_lru(req.addr);
                         let at = done + l2_lat + icnt;
                         let line = req.addr & line_mask;
@@ -648,16 +1028,16 @@ impl MemSys {
                                     if w.warp_slot != req.warp_slot || w.sm != req.sm {
                                         // Merged request: counts as L2
                                         // traffic for its own app.
-                                        stats.app_mut(w.app).l2_to_l1_bytes += line_bytes;
+                                        sink.l2_to_l1(w.app, line_bytes);
                                     }
-                                    self.responses.push(Reverse((at, w.sm, w.warp_slot)));
+                                    sink.response(at, w.sm, w.warp_slot);
                                     node = next;
                                 }
                             }
                             None => {
                                 // Read issued before MSHR tracking began
                                 // (cannot happen in practice; defensive).
-                                self.responses.push(Reverse((at, req.sm, req.warp_slot)));
+                                sink.response(at, req.sm, req.warp_slot);
                             }
                         }
                     }
@@ -689,9 +1069,37 @@ impl MemSys {
                 slice.scan_wake = 0;
                 slice.l2_event = slice.l2_event.min(now + 1);
             }
+
+            if TRACK {
+                // Stalled-prefix upkeep: a service invalidates every
+                // cached verdict (space freed, lines filled);
+                // otherwise this scan's verdicted prefix (or the
+                // carried one, if the scan slept) stays valid until
+                // the next service.
+                if serviced {
+                    slice.stalled_skip = 0;
+                } else if scanned {
+                    slice.stalled_skip = verdicted;
+                }
+                // The DRAM bound for queries after this tick is
+                // exactly what the reference `next_event` would
+                // compute at `now + 1`, and it stays exact across
+                // elided cycles: banks and the bus mutate only on a
+                // service, and no service can happen before it.
+                slice.dram_next = dram_bound(slice, now + 1);
+                // Before min(l2_event, dram_next) a tick is a full
+                // no-op: no arrival is due (l2_event covers due work
+                // and port-limited retries; a re-scan over only
+                // stalled misses probes to the same verdicts because
+                // queue/MSHR space can only be freed by a service),
+                // and no DRAM pick can succeed before dram_next.
+                slice.sleep_at = slice.l2_event.min(slice.dram_next);
+            }
         }
     }
+}
 
+impl MemSys {
     /// FR-FCFS (or plain FCFS) arbitration: index into the queue of the
     /// request to service next, `None` if no bank is ready.
     fn schedule_dram(ctrl: &DramCtrl, now: u64, fr_fcfs: bool) -> Option<usize> {
@@ -734,19 +1142,19 @@ impl MemSys {
         if let Some(&Reverse((at, _, _))) = self.responses.peek() {
             ev = ev.min(at);
         }
-        for slice in &self.slices {
-            ev = ev.min(slice.l2_event);
-            let ctrl = &slice.ctrl;
-            if !ctrl.queue.is_empty() {
-                if ctrl.bus_free_at >= now {
-                    ev = ev.min(ctrl.bus_free_at);
-                } else {
-                    // Bus free, yet the last tick scheduled nothing:
-                    // every candidate bank was busy. The next chance is
-                    // the earliest bank-ready time among queued requests.
-                    for (_, e) in ctrl.queue.iter() {
-                        ev = ev.min(ctrl.banks[e.bank as usize].ready_at);
-                    }
+        for cell in &self.cells {
+            if cell.ev_valid {
+                // Sharded cells maintain `ev_min = min(l2_event,
+                // dram_next)` over their slices at the end of every
+                // tick, so the horizon reads O(k) state.
+                ev = ev.min(cell.ev_min);
+            } else {
+                // Cold cell (fresh repartition, or the single-cell
+                // reference path, whose tick never maintains the
+                // caches): exact per-slice scan.
+                for slice in &cell.slices {
+                    ev = ev.min(slice.l2_event);
+                    ev = ev.min(dram_bound(slice, now));
                 }
             }
         }
@@ -775,22 +1183,21 @@ impl MemSys {
     /// True when any DRAM controller has queued requests (the phase
     /// profiler's DRAM-bound vs. L2-bound discriminator).
     pub fn any_dram_queued(&self) -> bool {
-        self.slices.iter().any(|s| !s.ctrl.queue.is_empty())
+        self.slices().any(|s| !s.ctrl.queue.is_empty())
     }
 
     /// True when no request or response is anywhere in flight.
     pub fn is_idle(&self) -> bool {
         self.responses.is_empty()
             && self
-                .slices
-                .iter()
+                .slices()
                 .all(|s| s.input.is_empty() && s.ctrl.queue.is_empty() && s.mshr.is_empty())
     }
 
     /// Appends one [`SliceDiag`](crate::stats::SliceDiag) per slice —
     /// queue depths and MSHR occupancy for error snapshots.
     pub fn slice_diags(&self, out: &mut Vec<crate::stats::SliceDiag>) {
-        for (i, s) in self.slices.iter().enumerate() {
+        for (i, s) in self.slices().enumerate() {
             out.push(crate::stats::SliceDiag {
                 id: i as u32,
                 input_depth: s.input.len() as u32,
@@ -803,14 +1210,87 @@ impl MemSys {
     /// Aggregate L2 hit rate across slices (diagnostics).
     pub fn l2_hit_rate(&self) -> f64 {
         let (h, m) = self
-            .slices
-            .iter()
+            .slices()
             .fold((0u64, 0u64), |(h, m), s| (h + s.l2.hits(), m + s.l2.misses()));
         if h + m == 0 {
             0.0
         } else {
             h as f64 / (h + m) as f64
         }
+    }
+
+    /// Repartitions the slices into `shards` memory-shard cells
+    /// (clamped to `[1, num_slices]`). Contiguous ranges, identical to
+    /// the SM-side [`ShardPlan`] split. Safe to call mid-run: every
+    /// rebuilt cell cold-starts its summaries ([`MemShard::new`]), so
+    /// the next horizon query falls back to the exact per-slice scan
+    /// and the next tick revalidates every busy slice.
+    pub fn set_shards(&mut self, shards: u32) {
+        let plan = ShardPlan::new(self.num_slices, shards);
+        if plan.shards as usize == self.cells.len() {
+            return;
+        }
+        let mut slices: Vec<Slice> = Vec::with_capacity(self.num_slices as usize);
+        for cell in self.cells.drain(..) {
+            slices.extend(cell.slices);
+        }
+        self.mem_chunk = plan.chunk() as usize;
+        for (base, len) in plan.ranges() {
+            let rest = slices.split_off((len as usize).min(slices.len()));
+            self.cells
+                .push(MemShard::new(base, std::mem::replace(&mut slices, rest)));
+        }
+    }
+
+    /// Number of memory-shard cells (1 = unsharded reference path).
+    pub fn num_shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Moves the cells out for threaded phase-M stepping. The `MemSys`
+    /// shell (response heap, geometry) stays behind; callers must
+    /// [`MemSys::restore_shards`] before touching anything slice-side.
+    pub(crate) fn take_shards(&mut self) -> Vec<MemShard> {
+        std::mem::take(&mut self.cells)
+    }
+
+    /// Returns cells taken with [`MemSys::take_shards`]. Order must be
+    /// preserved by the caller (cells are slotted by index).
+    pub(crate) fn restore_shards(&mut self, cells: Vec<MemShard>) {
+        debug_assert!(self.cells.is_empty());
+        debug_assert!(cells
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c.base as usize == i * self.mem_chunk));
+        self.cells = cells;
+    }
+
+    /// Serial boundary phase: folds every cell's buffered responses and
+    /// stats deltas into the shared heap and [`SimStats`], in cell
+    /// order — i.e. ascending slice order, matching the rotation the
+    /// reference single-pass tick visits slices in. Responses carry
+    /// their `(at, sm, warp_slot)` ordering key, so heap insertion
+    /// order only matters for equal tuples, which are interchangeable.
+    pub(crate) fn fold_shards(&mut self, stats: &mut SimStats) {
+        let MemSys { cells, responses, .. } = self;
+        for cell in cells.iter_mut() {
+            for &(at, sm, slot) in &cell.resp {
+                responses.push(Reverse((at, sm, slot)));
+            }
+            cell.resp.clear();
+            for (app, delta) in cell.delta.iter_mut().enumerate() {
+                if !delta.is_zero() {
+                    stats.app_mut(crate::AppId(app as u16)).apply_mem_delta(delta);
+                    *delta = MemDelta::default();
+                }
+            }
+        }
+    }
+
+    /// Test-only direct access to a slice by global index.
+    #[cfg(test)]
+    fn slice_mut(&mut self, g: usize) -> &mut Slice {
+        &mut self.cells[g / self.mem_chunk].slices[g % self.mem_chunk]
     }
 }
 
@@ -981,15 +1461,15 @@ mod tests {
         let mut st = SimStats::new(4);
         // Hold the DRAM bus so tick 0 only runs the L2/MSHR stage and
         // the table state stays observable.
-        ms.slices[0].ctrl.bus_free_at = 100;
+        ms.slice_mut(0).ctrl.bus_free_at = 100;
         for slot in 0..16u32 {
             let mut r = read(0x0, 0);
             r.warp_slot = slot;
             ms.push(r);
         }
         ms.tick(0, &mut st);
-        assert_eq!(ms.slices[0].mshr.len(), 1, "one entry for one line");
-        assert_eq!(ms.slices[0].mshr.arena_len(), 16, "one node per waiter");
+        assert_eq!(ms.slice_mut(0).mshr.len(), 1, "one entry for one line");
+        assert_eq!(ms.slice_mut(0).mshr.arena_len(), 16, "one node per waiter");
         let mut out = Vec::new();
         for c in 1..2000 {
             ms.tick(c, &mut st);
@@ -1026,7 +1506,7 @@ mod tests {
             ms.drain_completions(c, &mut out);
         }
         assert_eq!(out.len(), 4);
-        let arena = ms.slices[0].mshr.arena_len();
+        let arena = ms.slice_mut(0).mshr.arena_len();
         assert_eq!(arena, 4, "one node per waiter");
 
         // Second burst to a *different* line (the first is now in L2),
@@ -1038,7 +1518,7 @@ mod tests {
         }
         assert_eq!(out.len(), 8);
         assert_eq!(
-            ms.slices[0].mshr.arena_len(),
+            ms.slice_mut(0).mshr.arena_len(),
             arena,
             "drained nodes recycled, arena did not grow"
         );
@@ -1059,15 +1539,15 @@ mod tests {
         let mut st = SimStats::new(4);
         // Hold the DRAM bus so the first tick cannot already fill (and
         // free) an entry.
-        ms.slices[0].ctrl.bus_free_at = 100;
+        ms.slice_mut(0).ctrl.bus_free_at = 100;
         for i in 0..4u64 {
             let mut r = read(i * row * slices, 0); // all slice 0, distinct lines
             r.warp_slot = i as u32;
             ms.push(r);
         }
         ms.tick(0, &mut st);
-        assert_eq!(ms.slices[0].mshr.len(), 2, "table full at the cap");
-        let kept: Vec<u32> = ms.slices[0].input.iter().map(|r| r.warp_slot).collect();
+        assert_eq!(ms.slice_mut(0).mshr.len(), 2, "table full at the cap");
+        let kept: Vec<u32> = ms.slice_mut(0).input.iter().map(|r| r.warp_slot).collect();
         assert_eq!(kept, [2, 3], "overflow misses stalled in arrival order");
         let mut out = Vec::new();
         for c in 1..5000 {
@@ -1181,7 +1661,7 @@ mod tests {
         // occupy queue slots but produce no responses, and only one
         // leaves per bus slot.
         for _ in 0..depth + 4 {
-            ms.slices[0].ctrl.queue.push_back(
+            ms.slice_mut(0).ctrl.queue.push_back(
                 MemRequest {
                     is_write: true,
                     ..read(0, 500)
@@ -1204,11 +1684,11 @@ mod tests {
         ms.push(line(0, 5)); // hit
         ms.tick(500, &mut st);
 
-        let kept: Vec<u32> = ms.slices[0].input.iter().map(|r| r.warp_slot).collect();
+        let kept: Vec<u32> = ms.slice_mut(0).input.iter().map(|r| r.warp_slot).collect();
         assert_eq!(kept, [1, 2, 4], "stalled misses kept, arrival order");
         assert_eq!(ms.responses.len(), 2, "both hits consumed past them");
         assert_eq!(
-            ms.slices[0].l2_event,
+            ms.slice_mut(0).l2_event,
             501,
             "a DRAM service this tick may have freed space: retry next cycle"
         );

@@ -22,9 +22,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::config::GpuConfig;
 use crate::gpu::MAX_APPS;
 use crate::kernel::KernelDesc;
-use crate::memsys::Completion;
+use crate::memsys::{tick_cell, Completion, MemShard, MemSys, MemTickCtx};
 use crate::sm::Sm;
-use crate::stats::IssueDelta;
+use crate::stats::{IssueDelta, SimStats};
 use crate::trace_fmt::{KernelTrace, TraceHook};
 
 /// A fixed partition of the SM ids `0..num_sms` into `shards`
@@ -335,8 +335,21 @@ impl SmSlab for CellsView<'_, '_> {
 /// the serial phases exclusive access to every cell in shard order, so
 /// results are identical by construction.
 pub(crate) trait ShardExec {
-    /// Runs [`phase_a_cell`] on every cell for cycle `now`.
-    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot);
+    /// Runs the cycle's parallel work for cycle `now`: [`phase_a_cell`]
+    /// on every SM cell, and — when the memory system is sharded —
+    /// phase M ([`tick_cell`]) on every memory shard, followed by the
+    /// serial boundary fold ([`MemSys::fold_shards`]). With one memory
+    /// shard, `memsys.tick` runs the reference single-pass path. Phase
+    /// A never touches the memory system and phase M never touches SM
+    /// state, so the two phases commute and may overlap on workers.
+    fn phase_am(
+        &mut self,
+        now: u64,
+        comps: &[Completion],
+        snap: &RunSnapshot,
+        memsys: &mut MemSys,
+        stats: &mut SimStats,
+    );
     /// Runs `f` with exclusive access to all cells, in shard order.
     fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R;
 }
@@ -349,10 +362,20 @@ pub(crate) struct SeqExec<'a> {
 }
 
 impl ShardExec for SeqExec<'_> {
-    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot) {
+    fn phase_am(
+        &mut self,
+        now: u64,
+        comps: &[Completion],
+        snap: &RunSnapshot,
+        memsys: &mut MemSys,
+        stats: &mut SimStats,
+    ) {
         for cell in self.cells.iter_mut() {
             phase_a_cell(cell, now, comps, snap);
         }
+        // Dispatches internally: one cell runs the reference path,
+        // several run `tick_cell` per cell then fold in cell order.
+        memsys.tick(now, stats);
     }
 
     fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R {
@@ -372,6 +395,9 @@ pub(crate) struct ShardCtl {
     done: Condvar,
     /// The cycle's completions, published before each epoch.
     comps: Mutex<Vec<Completion>>,
+    /// Immutable per-tick memory-system context, published before each
+    /// epoch when phase M runs on the workers.
+    pub(crate) mem_ctx: Mutex<MemTickCtx>,
 }
 
 #[derive(Debug, Default)]
@@ -431,13 +457,18 @@ impl Drop for ShutdownGuard<'_> {
     }
 }
 
-/// Body of phase-A worker `id` (of `threads` total, coordinator
-/// included): waits for each epoch, steps the cells it owns
-/// (`shard % threads == id`), reports done. Returns on shutdown.
+/// Body of a parallel-phase worker `id` (of `threads` total,
+/// coordinator included): waits for each epoch, steps the SM cells it
+/// owns (`shard % threads == id`), then ticks its stripe of memory
+/// shards (phase M) when the run shards the memory system, reports
+/// done. Returns on shutdown. Memory shards ride the same leased
+/// workers — no thread is ever spawned for phase M, so the
+/// `GCS_SIM_THREADS` budget holds by construction.
 pub(crate) fn worker_loop(
     id: usize,
     threads: usize,
     cells: &[Mutex<ShardCell>],
+    mem: &[Mutex<Option<MemShard>>],
     ctl: &ShardCtl,
     snap: &RunSnapshot,
 ) {
@@ -461,6 +492,15 @@ pub(crate) fn worker_loop(
                 phase_a_cell(&mut cell, now, &comps, snap);
             }
         }
+        if !mem.is_empty() {
+            let ctx = *ctl.mem_ctx.lock().unwrap();
+            for s in (id..mem.len()).step_by(threads) {
+                let mut slot = mem[s].lock().unwrap();
+                if let Some(cell) = slot.as_mut() {
+                    tick_cell(cell, now, &ctx);
+                }
+            }
+        }
         let mut st = ctl.state.lock().unwrap();
         st.finished += 1;
         drop(st);
@@ -476,6 +516,10 @@ pub(crate) fn worker_loop(
 pub(crate) struct ThreadedExec<'a> {
     /// The run's cells, in shard order.
     pub cells: &'a [Mutex<ShardCell>],
+    /// Phase-M slots, one per memory shard (empty when the memory
+    /// system is unsharded). Filled by the coordinator before each
+    /// epoch and drained after the barrier.
+    pub mem: &'a [Mutex<Option<MemShard>>],
     /// The epoch barrier shared with the workers.
     pub ctl: &'a ShardCtl,
     /// Total participating threads (coordinator + helpers).
@@ -483,14 +527,52 @@ pub(crate) struct ThreadedExec<'a> {
 }
 
 impl ShardExec for ThreadedExec<'_> {
-    fn phase_a(&mut self, now: u64, comps: &[Completion], snap: &RunSnapshot) {
-        self.ctl
-            .run_epoch(now, comps, self.threads - 1, |comps| {
-                for s in (0..self.cells.len()).step_by(self.threads) {
-                    let mut cell = self.cells[s].lock().unwrap();
+    fn phase_am(
+        &mut self,
+        now: u64,
+        comps: &[Completion],
+        snap: &RunSnapshot,
+        memsys: &mut MemSys,
+        stats: &mut SimStats,
+    ) {
+        let (cells, mem, ctl, threads) = (self.cells, self.mem, self.ctl, self.threads);
+        if mem.is_empty() {
+            ctl.run_epoch(now, comps, threads - 1, |comps| {
+                for s in (0..cells.len()).step_by(threads) {
+                    let mut cell = cells[s].lock().unwrap();
                     phase_a_cell(&mut cell, now, comps, snap);
                 }
             });
+            memsys.tick(now, stats);
+            return;
+        }
+        // Publish the tick context and fill the shard slots *before*
+        // the epoch bump so the workers find both on wake.
+        let ctx = memsys.tick_ctx();
+        *ctl.mem_ctx.lock().unwrap() = ctx;
+        for (slot, cell) in mem.iter().zip(memsys.take_shards()) {
+            *slot.lock().unwrap() = Some(cell);
+        }
+        ctl.run_epoch(now, comps, threads - 1, |comps| {
+            for s in (0..cells.len()).step_by(threads) {
+                let mut cell = cells[s].lock().unwrap();
+                phase_a_cell(&mut cell, now, comps, snap);
+            }
+            for s in (0..mem.len()).step_by(threads) {
+                let mut slot = mem[s].lock().unwrap();
+                if let Some(cell) = slot.as_mut() {
+                    tick_cell(cell, now, &ctx);
+                }
+            }
+        });
+        // Barrier passed: every shard is back at rest. Drain the slots
+        // in shard order and run the serial boundary fold.
+        let mut shards = Vec::with_capacity(mem.len());
+        for slot in mem {
+            shards.push(slot.lock().unwrap().take().expect("phase-M slot drained early"));
+        }
+        memsys.restore_shards(shards);
+        memsys.fold_shards(stats);
     }
 
     fn with_cells<R>(&mut self, f: impl FnOnce(&mut [&mut ShardCell]) -> R) -> R {

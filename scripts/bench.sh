@@ -6,16 +6,21 @@
 #
 #   {
 #     "benches":    { "<name>": {"mean_ns": N, "min_ns": N,
-#                                "sim_threads": K}, ... },
-#     "cold_sweep": { "name": "...", "wall_seconds": S, "sim_threads": K }
+#                                "sim_threads": K, "sm_shards": K,
+#                                "mem_shards": K}, ... },
+#     "cold_sweep": { "name": "...", "wall_seconds": S, "sim_threads": K, ... }
 #   }
 #
 # K records the GCS_SIM_THREADS setting the run was measured under
-# (default 1: unsharded reference stepping). Sharded stepping never
-# changes results, but it very much changes wall-clock, so deltas are
-# only meaningful between runs with the same setting — the gate below
-# skips any bench whose recorded sim_threads differs from the
-# baseline's instead of comparing apples to oranges.
+# (default 1: unsharded reference stepping), and sm_shards/mem_shards
+# record the shard plan that setting grants (today the sweep engine
+# leases both shard counts equal to the thread budget; the stamp keeps
+# baselines comparable if the plan ever diverges from the budget).
+# Sharded stepping never changes results, but it very much changes
+# wall-clock, so deltas are only meaningful between runs with the same
+# plan — the gate below skips any bench whose recorded
+# sim_threads/sm_shards/mem_shards differ from the baseline's instead
+# of comparing apples to oranges.
 #
 # It then runs the online-scheduler micro-benchmarks (epoch planning
 # cost per policy, warm-cache event loop, plus the fleet/ family:
@@ -81,17 +86,25 @@ gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
     awk -v deftol="${BENCH_TOLERANCE:-1.6}" -v overrides="${BENCH_TOLERANCES:-}" \
         -v floor="${BENCH_NOISE_FLOOR_NS:-50}" '
         function tol_for(name) { return (name in tolmap) ? tolmap[name] : deftol }
-        function parse(line,   name, min, st) {
+        function field(line, key,   v) {
+            # Numeric field extractor; absent keys (entries written
+            # before the field was recorded) count as the default
+            # unsharded setting.
+            if (line !~ ("\"" key "\"")) return 1
+            v = line
+            sub(".*\"" key "\": ", "", v); sub(/[^0-9].*/, "", v)
+            return v
+        }
+        function parse(line,   name, min, plan) {
             name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
             min = line; sub(/.*"min_ns": /, "", min); sub(/[^0-9].*/, "", min)
-            # Entries written before sim_threads was recorded count as
-            # the default unsharded setting.
-            st = 1
-            if (line ~ /"sim_threads"/) {
-                st = line
-                sub(/.*"sim_threads": /, "", st); sub(/[^0-9].*/, "", st)
-            }
-            return name SUBSEP min SUBSEP st
+            # The shard plan the entry was measured under: worker
+            # threads / SM shards / memory shards. Any difference makes
+            # wall-clock deltas meaningless, so the gate skips rather
+            # than compares.
+            plan = field(line, "sim_threads") "/" field(line, "sm_shards") \
+                   "/" field(line, "mem_shards")
+            return name SUBSEP min SUBSEP plan
         }
         BEGIN {
             n = split(overrides, pairs, ",")
@@ -113,7 +126,7 @@ gate_against_baseline() {  # $1 = baseline json, $2 = fresh json
                     continue
                 }
                 if (base_st[name] != fresh_st[name]) {
-                    printf "  %-52s %14d %14d %8s  skip (sim_threads %d -> %d)\n",
+                    printf "  %-52s %14d %14d %8s  skip (plan %s -> %s)\n",
                            name, base[name], cur, "-",
                            base_st[name], fresh_st[name]
                     continue
@@ -162,9 +175,15 @@ SWEEP_T1=$(date +%s.%N)
 SWEEP_SECS=$(awk -v a="$SWEEP_T0" -v b="$SWEEP_T1" 'BEGIN { printf "%.3f", b - a }')
 
 # Collect the BENCH_JSON lines into one document, stamping each entry
-# with the shard setting it was measured under.
+# with the shard plan it was measured under. The sweep engine grants
+# both shard counts equal to the leased thread budget (sweep.rs
+# shard_grant), so the plan is derived from GCS_SIM_THREADS today;
+# stamping all three keeps old baselines skippable if that changes.
 SIM_THREADS="${GCS_SIM_THREADS:-1}"
-awk -v sweep_secs="$SWEEP_SECS" -v sim_threads="$SIM_THREADS" '
+SM_SHARDS="$SIM_THREADS"
+MEM_SHARDS="$SIM_THREADS"
+awk -v sweep_secs="$SWEEP_SECS" -v sim_threads="$SIM_THREADS" \
+    -v sm_shards="$SM_SHARDS" -v mem_shards="$MEM_SHARDS" '
     /^BENCH_JSON / {
         line = substr($0, 12)
         # {"name":"X","mean_ns":N,"min_ns":M}
@@ -172,7 +191,9 @@ awk -v sweep_secs="$SWEEP_SECS" -v sim_threads="$SIM_THREADS" '
         mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
         min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
         entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min \
-                ", \"sim_threads\": " sim_threads "}"
+                ", \"sim_threads\": " sim_threads \
+                ", \"sm_shards\": " sm_shards \
+                ", \"mem_shards\": " mem_shards "}"
         entries = entries (entries == "" ? "" : ",\n") entry
     }
     END {
@@ -183,7 +204,9 @@ awk -v sweep_secs="$SWEEP_SECS" -v sim_threads="$SIM_THREADS" '
         print "  \"cold_sweep\": {"
         print "    \"name\": \"fig41_two_app (GCS_SCALE=test, GCS_CACHE=off)\","
         print "    \"wall_seconds\": " sweep_secs ","
-        print "    \"sim_threads\": " sim_threads
+        print "    \"sim_threads\": " sim_threads ","
+        print "    \"sm_shards\": " sm_shards ","
+        print "    \"mem_shards\": " mem_shards
         print "  }"
         print "}"
     }
@@ -208,14 +231,17 @@ echo
 echo "==> cargo bench --bench sched"
 cargo bench --bench sched | tee "$SCHED_RAW"
 
-awk -v sim_threads="$SIM_THREADS" '
+awk -v sim_threads="$SIM_THREADS" \
+    -v sm_shards="$SM_SHARDS" -v mem_shards="$MEM_SHARDS" '
     /^BENCH_JSON / {
         line = substr($0, 12)
         name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
         mean = line; sub(/.*"mean_ns":/, "", mean); sub(/,.*/, "", mean)
         min  = line; sub(/.*"min_ns":/,  "", min);  sub(/}.*/, "", min)
         entry = "    \"" name "\": {\"mean_ns\": " mean ", \"min_ns\": " min \
-                ", \"sim_threads\": " sim_threads "}"
+                ", \"sim_threads\": " sim_threads \
+                ", \"sm_shards\": " sm_shards \
+                ", \"mem_shards\": " mem_shards "}"
         entries = entries (entries == "" ? "" : ",\n") entry
     }
     # Daemon decision sidecar (decisions_per_sec, p50/p99 decision

@@ -33,10 +33,11 @@
 #                               line is byte-identical every time, then
 #                               exits
 #   scripts/ci.sh --shard-smoke sharded-stepping gate only: runs one fixed
-#                               SMRA co-run at SM shard counts 1/2/4
-#                               (shard_smoke binary) and asserts the
-#                               canonical JSON stats line is byte-identical
-#                               at every shard count, then exits
+#                               SMRA co-run over the SM-shard x memory-shard
+#                               grid (s1/s2/s4 x m1/m2/m4, shard_smoke
+#                               binary) and asserts the canonical JSON stats
+#                               line is byte-identical at every grid point,
+#                               then exits
 #   scripts/ci.sh --daemon-smoke
 #                               scheduler-daemon gate only: drives a seeded
 #                               trace through an in-process schedd over
@@ -146,28 +147,30 @@ if [ "$PROFILE_SMOKE" -eq 1 ]; then
     exit 0
 fi
 
-# Sharded-stepping gate: one fixed SMRA co-run per SM shard count; the
-# canonical JSON stats line must be byte-identical at every count
-# (sharding is a pure wall-clock optimization — DESIGN.md §12).
+# Sharded-stepping gate: one fixed SMRA co-run per point of the
+# SM-shard × memory-shard grid; the canonical JSON stats line must be
+# byte-identical at every point (sharding is a pure wall-clock
+# optimization — DESIGN.md §12, both phase A and phase M).
 shard_smoke() {
-    step "shard smoke (shard_smoke co-run, SM shards 1/2/4)"
+    step "shard smoke (shard_smoke co-run, SM shards 1/2/4 x mem shards 1/2/4)"
     cargo build --release --bin shard_smoke
-    local ref="" line shards
-    for shards in 1 2 4; do
-        line=$(./target/release/shard_smoke "$shards" | grep '^stats:') || {
+    local ref="" line pair shards mem
+    for pair in "1 1" "2 1" "4 1" "1 2" "1 4" "4 2" "4 4"; do
+        read -r shards mem <<<"$pair"
+        line=$(./target/release/shard_smoke "$shards" "$mem" | grep '^stats:') || {
             echo "no stats line in shard_smoke output" >&2; exit 1;
         }
-        echo "  shards=$shards  ${line:0:72}..."
+        echo "  shards=$shards mem=$mem  ${line:0:60}..."
         if [ -z "$ref" ]; then
             ref="$line"
         elif [ "$line" != "$ref" ]; then
-            echo "canonical stats differ at $shards shards:" >&2
+            echo "canonical stats differ at shards=$shards mem=$mem:" >&2
             echo "  ref: $ref" >&2
             echo "  got: $line" >&2
             exit 1
         fi
     done
-    echo "shard smoke passed (stats byte-identical at 1/2/4 shards)"
+    echo "shard smoke passed (stats byte-identical across the SM x mem shard grid)"
 }
 
 if [ "$SHARD_SMOKE" -eq 1 ]; then
